@@ -1,0 +1,117 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// the UMFL-reduction best response vs naive strategy enumeration, the
+// parallel APSP vs its serial and dense (Floyd–Warshall) alternatives,
+// and greedy vs exact-best-response dynamics as equilibrium finders.
+package gncg_test
+
+import (
+	"testing"
+
+	"gncg/internal/bestresponse"
+	"gncg/internal/dynamics"
+	"gncg/internal/game"
+	"gncg/internal/gen"
+	"gncg/internal/parallel"
+)
+
+// ablationState is a shared mid-sized state: 12 agents, star plus noise.
+func ablationState() *game.State {
+	g := game.New(game.NewHost(gen.Points(31, 12, 2, 10, 2)), 1.5)
+	p := game.StarProfile(12, 0)
+	p.Buy(3, 7)
+	p.Buy(5, 9)
+	return game.NewState(g, p)
+}
+
+// BenchmarkAblationBRviaUMFL measures the production best-response path:
+// branch-and-bound over the facility-location formulation.
+func BenchmarkAblationBRviaUMFL(b *testing.B) {
+	s := ablationState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bestresponse.Exact(s, 1+(i%11))
+	}
+}
+
+// BenchmarkAblationBRviaBruteForce measures the naive alternative the
+// UMFL reduction replaces: enumerate all 2^(n-1) strategies and evaluate
+// each on the real network. Same answers (tests assert this), orders of
+// magnitude slower already at n = 12.
+func BenchmarkAblationBRviaBruteForce(b *testing.B) {
+	s := ablationState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bestresponse.BruteForce(s, 1+(i%11))
+	}
+}
+
+// BenchmarkAblationAPSPParallel measures the production all-pairs path:
+// one Dijkstra per source across all cores.
+func BenchmarkAblationAPSPParallel(b *testing.B) {
+	s := game.NewState(
+		game.New(game.NewHost(gen.Points(9, 150, 2, 100, 2)), 8),
+		game.StarProfile(150, 0))
+	net := s.Network()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.APSP()
+	}
+}
+
+// BenchmarkAblationAPSPSerial bounds the parallel speedup: the same
+// Dijkstras on a single worker.
+func BenchmarkAblationAPSPSerial(b *testing.B) {
+	s := game.NewState(
+		game.New(game.NewHost(gen.Points(9, 150, 2, 100, 2)), 8),
+		game.StarProfile(150, 0))
+	net := s.Network()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := make([][]float64, net.N())
+		parallel.ForWorkers(net.N(), 1, func(src int) { rows[src] = net.Dijkstra(src) })
+		_ = rows
+	}
+}
+
+// BenchmarkAblationAPSPFloydWarshall measures the dense cubic
+// alternative on the same (sparse) network.
+func BenchmarkAblationAPSPFloydWarshall(b *testing.B) {
+	s := game.NewState(
+		game.New(game.NewHost(gen.Points(9, 150, 2, 100, 2)), 8),
+		game.StarProfile(150, 0))
+	net := s.Network()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.FloydWarshall()
+	}
+}
+
+// BenchmarkAblationDynamicsGreedy measures greedy (single-edge)
+// dynamics as an equilibrium finder on a 10-agent instance.
+func BenchmarkAblationDynamicsGreedy(b *testing.B) {
+	g := game.New(game.NewHost(gen.Points(13, 10, 2, 10, 2)), 1.5)
+	for i := 0; i < b.N; i++ {
+		s := game.NewState(g, game.StarProfile(10, 0))
+		dynamics.Run(s, dynamics.GreedyMover, dynamics.RoundRobin{}, 50000)
+	}
+}
+
+// BenchmarkAblationDynamicsExactBR measures exact-best-response dynamics
+// on the same instance: fewer, costlier moves.
+func BenchmarkAblationDynamicsExactBR(b *testing.B) {
+	g := game.New(game.NewHost(gen.Points(13, 10, 2, 10, 2)), 1.5)
+	for i := 0; i < b.N; i++ {
+		s := game.NewState(g, game.StarProfile(10, 0))
+		dynamics.Run(s, dynamics.BestResponseMover, dynamics.RoundRobin{}, 50000)
+	}
+}
+
+// BenchmarkAblationDynamicsApproxBR measures the polynomial 3-approx
+// responses as the mover: the paper's practical middle ground.
+func BenchmarkAblationDynamicsApproxBR(b *testing.B) {
+	g := game.New(game.NewHost(gen.Points(13, 10, 2, 10, 2)), 1.5)
+	for i := 0; i < b.N; i++ {
+		s := game.NewState(g, game.StarProfile(10, 0))
+		dynamics.Run(s, dynamics.ApproxBRMover, dynamics.RoundRobin{}, 50000)
+	}
+}

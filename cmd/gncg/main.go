@@ -1,0 +1,277 @@
+// Command gncg inspects and manipulates GNCG instances stored as JSON
+// (see gncg.InstanceJSON): compute costs, check equilibrium tiers, find
+// best responses, run dynamics, and compute optimum candidates.
+//
+// Usage:
+//
+//	gncg analyze   -in instance.json
+//	gncg br        -in instance.json -agent 3 [-approx]
+//	gncg dynamics  -in instance.json [-mover greedy|br|addonly] [-moves 10000] [-out result.json]
+//	gncg opt       -in instance.json
+//	gncg random    -kind points|tree|onetwo -n 12 -alpha 1.5 -seed 7 -out instance.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"gncg"
+	"gncg/internal/gen"
+	"gncg/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "br":
+		err = cmdBR(os.Args[2:])
+	case "dynamics":
+		err = cmdDynamics(os.Args[2:])
+	case "opt":
+		err = cmdOpt(os.Args[2:])
+	case "random":
+		err = cmdRandom(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gncg:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: gncg <analyze|br|dynamics|opt|random> [flags]
+run "gncg <subcommand> -h" for flags`)
+}
+
+func loadInstance(path string) (*gncg.Game, gncg.Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, gncg.Profile{}, err
+	}
+	return gncg.UnmarshalInstance(data)
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("in", "", "instance JSON path")
+	exact := fs.Bool("exact", true, "run the exact Nash check (exponential; small n only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, p, err := loadInstance(*in)
+	if err != nil {
+		return err
+	}
+	s := gncg.NewState(g, p)
+	fmt.Printf("agents: %d  alpha: %g  class: %s\n", g.N(), g.Alpha, gncg.ClassifyHost(g.Host, 1e-9))
+	fmt.Printf("edges: %d  connected: %v\n", p.EdgeCount(), s.Connected())
+	fmt.Printf("social cost: %s (edge %s + dist %s)\n",
+		report.Format(s.SocialCost()), report.Format(s.TotalEdgeCost()), report.Format(s.TotalDistCost()))
+	fmt.Printf("add-only equilibrium: %v\n", gncg.IsAddOnlyEquilibrium(s))
+	fmt.Printf("greedy equilibrium:   %v (factor %s)\n", gncg.IsGreedyEquilibrium(s), report.Format(gncg.GreedyApproxFactor(s)))
+	if *exact {
+		if g.N() > 18 {
+			fmt.Println("nash equilibrium:     skipped (n > 18; pass -exact=false to silence)")
+		} else {
+			fmt.Printf("nash equilibrium:     %v (factor %s)\n", gncg.IsNashEquilibrium(s), report.Format(gncg.NashApproxFactor(s)))
+		}
+	}
+	t := report.NewTable("per-agent costs", "agent", "edge cost", "dist cost", "total")
+	for u := 0; u < g.N(); u++ {
+		t.AddRow(u, s.EdgeCost(u), s.DistCost(u), s.Cost(u))
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func cmdBR(args []string) error {
+	fs := flag.NewFlagSet("br", flag.ExitOnError)
+	in := fs.String("in", "", "instance JSON path")
+	agent := fs.Int("agent", 0, "agent index")
+	approx := fs.Bool("approx", false, "use the polynomial 3-approximate response")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, p, err := loadInstance(*in)
+	if err != nil {
+		return err
+	}
+	s := gncg.NewState(g, p)
+	if *agent < 0 || *agent >= g.N() {
+		return fmt.Errorf("agent %d out of range [0,%d)", *agent, g.N())
+	}
+	cur := s.Cost(*agent)
+	var br gncg.BestResponse
+	if *approx {
+		br = gncg.ApproxBestResponse(s, *agent)
+	} else {
+		br = gncg.ExactBestResponse(s, *agent)
+	}
+	fmt.Printf("agent %d current cost: %s\n", *agent, report.Format(cur))
+	fmt.Printf("best response: buy %v  cost %s", br.Strategy, report.Format(br.Cost))
+	if g.Improves(br.Cost, cur) {
+		fmt.Printf("  (improves by %s)\n", report.Format(cur-br.Cost))
+	} else {
+		fmt.Println("  (no improvement: agent is best-responding)")
+	}
+	return nil
+}
+
+func cmdDynamics(args []string) error {
+	fs := flag.NewFlagSet("dynamics", flag.ExitOnError)
+	in := fs.String("in", "", "instance JSON path")
+	mover := fs.String("mover", "greedy", "greedy | br | addonly | approx")
+	moves := fs.Int("moves", 10000, "move budget")
+	seed := fs.Int64("seed", 0, "scheduler seed (0 = round robin)")
+	outPath := fs.String("out", "", "write resulting instance JSON here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, p, err := loadInstance(*in)
+	if err != nil {
+		return err
+	}
+	s := gncg.NewState(g, p)
+	var mv gncg.Mover
+	switch *mover {
+	case "greedy":
+		mv = gncg.GreedyMover
+	case "br":
+		mv = gncg.BestResponseMover
+	case "addonly":
+		mv = gncg.AddOnlyMover
+	case "approx":
+		mv = gncg.ApproxBRMover
+	default:
+		return fmt.Errorf("unknown mover %q", *mover)
+	}
+	sched := gncg.RoundRobinScheduler()
+	if *seed != 0 {
+		sched = gncg.RandomScheduler(*seed)
+	}
+	res := gncg.RunDynamics(s, mv, sched, *moves)
+	fmt.Printf("outcome: %s after %d moves (%d rounds)\n", res.Outcome, res.Moves, res.Rounds)
+	if res.Outcome == gncg.CycleDetected {
+		fmt.Printf("improving-move cycle: starts after move %d, length %d — FIP violated\n",
+			res.CycleStart, res.CycleLen)
+	}
+	fmt.Printf("social cost: %s\n", report.Format(s.SocialCost()))
+	if *outPath != "" {
+		data, err := gncg.MarshalInstance(g, s.P)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *outPath)
+	}
+	return nil
+}
+
+func cmdOpt(args []string) error {
+	fs := flag.NewFlagSet("opt", flag.ExitOnError)
+	in := fs.String("in", "", "instance JSON path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, _, err := loadInstance(*in)
+	if err != nil {
+		return err
+	}
+	lb := gncg.SocialOptimumLowerBound(g)
+	fmt.Printf("certified lower bound: %s\n", report.Format(lb))
+	if g.N() <= 7 {
+		exact, err := gncg.SocialOptimumExact(g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("exact optimum: %s with %d edges\n", report.Format(exact.Cost), len(exact.Edges))
+		return nil
+	}
+	heur := gncg.SocialOptimumHeuristic(g)
+	fmt.Printf("heuristic optimum candidate: %s with %d edges (gap to LB: %s)\n",
+		report.Format(heur.Cost), len(heur.Edges), report.Format(heur.Cost-lb))
+	return nil
+}
+
+func cmdRandom(args []string) error {
+	fs := flag.NewFlagSet("random", flag.ExitOnError)
+	kind := fs.String("kind", "points", "points | tree | onetwo | metric | nonmetric")
+	n := fs.Int("n", 10, "number of agents")
+	alpha := fs.Float64("alpha", 1, "edge price parameter")
+	seed := fs.Int64("seed", 1, "generator seed")
+	outPath := fs.String("out", "", "output path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *alpha <= 0 || math.IsNaN(*alpha) {
+		return fmt.Errorf("alpha must be positive")
+	}
+	var h *gncg.Host
+	var err error
+	switch *kind {
+	case "points":
+		h = hostOf(gen.Points(*seed, *n, 2, 100, 2))
+	case "tree":
+		h = hostOf(gen.Tree(*seed, *n, 1, 10))
+	case "onetwo":
+		h = hostOf(gen.OneTwo(*seed, *n, 0.4))
+	case "metric":
+		h = hostOf(gen.Metric(*seed, *n, 0.3, 9))
+	case "nonmetric":
+		h, err = gncg.HostFromMatrix(gen.NonMetric(*seed, *n, 10))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	g := gncg.NewGame(h, *alpha)
+	data, err := gncg.MarshalInstance(g, gncg.EmptyProfile(*n))
+	if err != nil {
+		return err
+	}
+	if *outPath == "" {
+		fmt.Println(string(data))
+		return nil
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", *outPath)
+	return nil
+}
+
+// hostOf adapts a metric space to a host through the public facade.
+func hostOf(s interface {
+	Size() int
+	Dist(i, j int) float64
+}) *gncg.Host {
+	n := s.Size()
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			if i != j {
+				w[i][j] = s.Dist(i, j)
+			}
+		}
+	}
+	h, err := gncg.HostFromMatrix(w)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

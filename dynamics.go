@@ -1,0 +1,123 @@
+package gncg
+
+import (
+	"math/rand"
+
+	"gncg/internal/dynamics"
+	"gncg/internal/game"
+)
+
+// DynamicsResult reports how a dynamics run ended.
+type DynamicsResult = dynamics.Result
+
+// Dynamics outcomes.
+const (
+	// Converged: a full round passed with no agent moving.
+	Converged = dynamics.Converged
+	// CycleDetected: a strategy profile recurred, certifying an
+	// improving-move cycle (no finite improvement property).
+	CycleDetected = dynamics.CycleDetected
+	// Exhausted: the move budget ran out.
+	Exhausted = dynamics.Exhausted
+)
+
+// RunBestResponseDynamics iterates exact best responses in round-robin
+// order, mutating s, until convergence (a Nash equilibrium), a state
+// recurrence, or maxMoves moves.
+func RunBestResponseDynamics(s *State, maxMoves int) DynamicsResult {
+	return dynamics.Run(s, dynamics.BestResponseMover, dynamics.RoundRobin{}, maxMoves)
+}
+
+// RunGreedyDynamics iterates best single-edge moves (buy/delete/swap) in
+// round-robin order; convergence yields a greedy equilibrium.
+func RunGreedyDynamics(s *State, maxMoves int) DynamicsResult {
+	return dynamics.Run(s, dynamics.GreedyMover, dynamics.RoundRobin{}, maxMoves)
+}
+
+// RunAddOnlyDynamics iterates best single buys until no agent wants
+// another edge: an add-only equilibrium, reached in at most ~n² moves.
+// Start from a connected profile (e.g. StarProfile) for meaningful
+// results; see Thm 2 and Cor. 2.
+func RunAddOnlyDynamics(s *State) DynamicsResult {
+	return dynamics.RunAddOnly(s, dynamics.RoundRobin{})
+}
+
+// RunRandomOrderDynamics iterates exact best responses with a seeded
+// random agent order each round — the configuration under which
+// improving-move cycles surface in practice.
+func RunRandomOrderDynamics(s *State, maxMoves int, seed int64) DynamicsResult {
+	sched := dynamics.RandomOrder{Rng: rand.New(rand.NewSource(seed))}
+	return dynamics.Run(s, dynamics.BestResponseMover, sched, maxMoves)
+}
+
+// CycleWitness is a machine-verified improving-move cycle.
+type CycleWitness = dynamics.CycleWitness
+
+// CycleSearchConfig controls FindImprovingCycle.
+type CycleSearchConfig = dynamics.CycleSearchConfig
+
+// FindImprovingCycle searches for an improving-move cycle by randomized
+// dynamics with recurrence detection (the machine-checkable content of
+// Thms 14 and 17). A returned witness should be re-validated with
+// VerifyImprovingCycle.
+func FindImprovingCycle(g *Game, cfg CycleSearchConfig) (CycleWitness, bool) {
+	return dynamics.FindCycle(g, cfg)
+}
+
+// VerifyImprovingCycle replays a witness, checking every move strictly
+// improved its mover and that the profile truly recurs.
+func VerifyImprovingCycle(g *Game, w CycleWitness) bool {
+	return dynamics.VerifyCycle(g, w)
+}
+
+// FIPWitness is a cycle extracted from the exhaustive improving-move
+// graph of a (tiny) instance.
+type FIPWitness = dynamics.FIPWitness
+
+// ExhaustiveFIPCheck decides the finite improvement property for an
+// instance with n <= 5 agents by building the full improving-move graph:
+// hasCycle=false proves the FIP holds for the instance; a witness
+// refutes it. Exponential in n².
+func ExhaustiveFIPCheck(g *Game) (witness *FIPWitness, hasCycle bool, err error) {
+	return dynamics.ExhaustiveFIP(g)
+}
+
+// VerifyFIPWitness replays an exhaustive-check witness.
+func VerifyFIPWitness(g *Game, w *FIPWitness) bool {
+	return dynamics.VerifyFIPWitness(g, w)
+}
+
+// Movers and schedulers for custom dynamics loops.
+type (
+	// Mover computes an agent's next strategy.
+	Mover = dynamics.Mover
+	// Scheduler orders agent activations per round.
+	Scheduler = dynamics.Scheduler
+)
+
+// RunDynamics runs a custom mover/scheduler combination.
+func RunDynamics(s *State, mover Mover, sched Scheduler, maxMoves int) DynamicsResult {
+	return dynamics.Run(s, mover, sched, maxMoves)
+}
+
+// BestResponseMover, GreedyMover, AddOnlyMover and ApproxBRMover are the
+// built-in move oracles.
+var (
+	BestResponseMover Mover = dynamics.BestResponseMover
+	GreedyMover       Mover = dynamics.GreedyMover
+	AddOnlyMover      Mover = dynamics.AddOnlyMover
+	ApproxBRMover     Mover = dynamics.ApproxBRMover
+)
+
+// RoundRobinScheduler activates agents in index order.
+func RoundRobinScheduler() Scheduler { return dynamics.RoundRobin{} }
+
+// RandomScheduler activates agents in a fresh seeded permutation each
+// round.
+func RandomScheduler(seed int64) Scheduler {
+	return dynamics.RandomOrder{Rng: rand.New(rand.NewSource(seed))}
+}
+
+// PathProfile returns the profile where consecutive agents in the given
+// order buy the connecting edge.
+func PathProfile(n int, order []int) Profile { return game.PathProfile(n, order) }

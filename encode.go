@@ -1,0 +1,120 @@
+package gncg
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// InstanceJSON is the on-disk interchange format for a game instance and
+// optional strategy profile, consumed by the cmd/gncg tool. Weights may
+// be the string "inf" for unbuyable pairs.
+type InstanceJSON struct {
+	Alpha   float64       `json:"alpha"`
+	Weights [][]jsonFloat `json:"weights"`
+	// Owned lists purchases as [owner, to] pairs; optional.
+	Owned [][2]int `json:"owned,omitempty"`
+	// Traffic optionally carries the demand matrix of the traffic-weighted
+	// extension (row u = agent u's demands); omitted under the paper's
+	// uniform model.
+	Traffic [][]float64 `json:"traffic,omitempty"`
+}
+
+// jsonFloat marshals +Inf as the string "inf".
+type jsonFloat float64
+
+// MarshalJSON renders +Inf as "inf".
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	if math.IsInf(float64(f), 1) {
+		return []byte(`"inf"`), nil
+	}
+	return json.Marshal(float64(f))
+}
+
+// UnmarshalJSON accepts numbers or the string "inf".
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		if s == "inf" || s == "+inf" || s == "Inf" {
+			*f = jsonFloat(math.Inf(1))
+			return nil
+		}
+		return fmt.Errorf("gncg: invalid weight string %q", s)
+	}
+	var x float64
+	if err := json.Unmarshal(b, &x); err != nil {
+		return err
+	}
+	*f = jsonFloat(x)
+	return nil
+}
+
+// MarshalInstance serializes a game and profile to JSON.
+func MarshalInstance(g *Game, p Profile) ([]byte, error) {
+	n := g.N()
+	ins := InstanceJSON{Alpha: g.Alpha, Weights: make([][]jsonFloat, n)}
+	for i := 0; i < n; i++ {
+		row := make([]jsonFloat, n)
+		for j := 0; j < n; j++ {
+			row[j] = jsonFloat(g.Host.Weight(i, j))
+		}
+		ins.Weights[i] = row
+	}
+	if p.N() == n {
+		for _, e := range p.OwnedEdges() {
+			ins.Owned = append(ins.Owned, [2]int{e.Owner, e.To})
+		}
+	}
+	if g.HasTraffic() {
+		ins.Traffic = make([][]float64, n)
+		for u := 0; u < n; u++ {
+			ins.Traffic[u] = make([]float64, n)
+			for v := 0; v < n; v++ {
+				ins.Traffic[u][v] = g.Traffic(u, v)
+			}
+		}
+	}
+	return json.MarshalIndent(ins, "", "  ")
+}
+
+// UnmarshalInstance parses a serialized instance back into a game and
+// profile. If the instance listed no purchases, the profile is empty.
+func UnmarshalInstance(data []byte) (*Game, Profile, error) {
+	var ins InstanceJSON
+	if err := json.Unmarshal(data, &ins); err != nil {
+		return nil, Profile{}, err
+	}
+	if ins.Alpha <= 0 {
+		return nil, Profile{}, fmt.Errorf("gncg: alpha must be positive, got %v", ins.Alpha)
+	}
+	n := len(ins.Weights)
+	w := make([][]float64, n)
+	for i := range w {
+		if len(ins.Weights[i]) != n {
+			return nil, Profile{}, fmt.Errorf("gncg: weight row %d has %d entries, want %d", i, len(ins.Weights[i]), n)
+		}
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			w[i][j] = float64(ins.Weights[i][j])
+		}
+	}
+	h, err := HostFromMatrix(w)
+	if err != nil {
+		return nil, Profile{}, err
+	}
+	g := NewGame(h, ins.Alpha)
+	if ins.Traffic != nil {
+		if err := g.SetTraffic(ins.Traffic); err != nil {
+			return nil, Profile{}, err
+		}
+	}
+	var owned []OwnedEdge
+	for _, e := range ins.Owned {
+		owned = append(owned, OwnedEdge{Owner: e[0], To: e[1]})
+	}
+	p, err := ProfileFromOwnedEdges(n, owned)
+	if err != nil {
+		return nil, Profile{}, err
+	}
+	return g, p, nil
+}

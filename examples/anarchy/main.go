@@ -1,0 +1,79 @@
+// Anarchy: exact Price of Anarchy and Price of Stability on small
+// instances by exhaustive equilibrium census. The paper bounds the PoA
+// ((α+2)/2 for metric hosts, Thm 1) and leaves the Price of Stability
+// as future work, noting PoS = 1 for tree metrics (Cor. 3). With at
+// most five agents the full strategy space is enumerable, so both
+// quantities are computed exactly and compared with the bounds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gncg"
+	"gncg/internal/gen"
+)
+
+func main() {
+	fmt.Println("exact equilibrium census on 4-agent games")
+	fmt.Printf("%-22s %7s %9s %9s %9s %9s %12s\n",
+		"host", "alpha", "profiles", "#NE", "PoA", "PoS", "bound (a+2)/2")
+
+	show := func(name string, h *gncg.Host, alpha float64) {
+		g := gncg.NewGame(h, alpha)
+		c, err := gncg.ExhaustiveEquilibriumCensus(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %7.2f %9d %9d %9.4f %9.4f %12.2f\n",
+			name, alpha, c.Profiles, c.Nash, c.PoA(), c.PoS(), (alpha+2)/2)
+	}
+
+	// Random geometric hosts across alpha.
+	for _, alpha := range []float64{0.5, 1.5, 4} {
+		h, err := gncg.HostFromPoints(pointCoords(3), 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		show("geometric (l2)", h, alpha)
+	}
+
+	// Tree metric: PoS must be exactly 1 (Cor. 3).
+	tree, err := gncg.HostFromTree(4, []gncg.Edge{
+		{U: 0, V: 1, W: 3}, {U: 1, V: 2, W: 5}, {U: 1, V: 3, W: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("tree metric", tree, 2)
+
+	// The Thm 18 four-point witness: the exact PoA meets the paper's
+	// closed-form lower bound.
+	lb, err := gncg.Thm18FourPoint(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := gncg.ExhaustiveEquilibriumCensus(lb.Game)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nThm 18 witness at alpha=3: construction ratio %.4f, exact PoA %.4f, exact PoS %.4f\n",
+		lb.Ratio(), c.PoA(), c.PoS())
+
+	// Non-metric triangle (Thm 20): PoA exactly (alpha+2)/2.
+	t20, err := gncg.Thm20Triangle(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c20, err := gncg.ExhaustiveEquilibriumCensus(t20.Game)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Thm 20 triangle at alpha=4: exact PoA %.4f (= (4+2)/2 = 3), exact PoS %.4f\n",
+		c20.PoA(), c20.PoS())
+}
+
+func pointCoords(seed int64) [][]float64 {
+	pts := gen.Points(seed, 4, 2, 10, 2)
+	return pts.Coords
+}

@@ -1,0 +1,45 @@
+// Quickstart: build a small geometric network creation game, run
+// best-response dynamics to a Nash equilibrium, and compare the outcome
+// with the social optimum.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gncg"
+)
+
+func main() {
+	// Five facilities in the plane (kilometre coordinates); edges cost
+	// alpha per unit length, usage costs the summed distances.
+	coords := [][]float64{
+		{0, 0}, {4, 0}, {4, 3}, {0, 3}, {2, 1.5},
+	}
+	host, err := gncg.HostFromPoints(coords, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := gncg.NewGame(host, 1.5)
+
+	// Start from nothing and let agents play exact best responses.
+	s := gncg.NewState(g, gncg.EmptyProfile(g.N()))
+	res := gncg.RunBestResponseDynamics(s, 1000)
+	fmt.Printf("dynamics: %s after %d moves\n", res.Outcome, res.Moves)
+	fmt.Printf("is Nash equilibrium: %v\n", gncg.IsNashEquilibrium(s))
+
+	fmt.Println("\nequilibrium network (owner -> bought node):")
+	for _, e := range s.P.OwnedEdges() {
+		fmt.Printf("  %d -> %d  (length %.2f)\n", e.Owner, e.To, host.Weight(e.Owner, e.To))
+	}
+	neCost := s.SocialCost()
+
+	optRes, err := gncg.SocialOptimumExact(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsocial cost: equilibrium %.2f vs optimum %.2f (ratio %.4f)\n",
+		neCost, optRes.Cost, neCost/optRes.Cost)
+	fmt.Printf("paper bound for metric hosts (Thm 1): PoA <= (alpha+2)/2 = %.2f\n",
+		(g.Alpha+2)/2)
+}

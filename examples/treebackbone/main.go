@@ -1,0 +1,58 @@
+// Treebackbone: the T–GNCG in practice. A regional backbone's duct
+// system forms a tree (rivers, rail corridors); link prices and usage
+// distances both follow the tree metric. The example demonstrates the
+// paper's structural results for tree metrics: the defining tree is
+// simultaneously the social optimum and a Nash equilibrium (Cor. 3, so
+// the Price of Stability is 1), every Nash equilibrium is a tree
+// (Thm 12), and yet the worst equilibrium can cost close to (alpha+2)/2
+// times the optimum (Thm 15).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gncg"
+)
+
+func main() {
+	// A river-valley duct tree: 0 is the coastal hub; weights are km.
+	n := 9
+	edges := []gncg.Edge{
+		{U: 0, V: 1, W: 12}, {U: 1, V: 2, W: 7}, {U: 1, V: 3, W: 9},
+		{U: 3, V: 4, W: 4}, {U: 3, V: 5, W: 6}, {U: 0, V: 6, W: 15},
+		{U: 6, V: 7, W: 5}, {U: 6, V: 8, W: 8},
+	}
+	host, err := gncg.HostFromTree(n, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alpha := 2.0
+	g := gncg.NewGame(host, alpha)
+
+	// Corollary 3: the defining tree, bought along the tree, is an NE.
+	tree := gncg.ProfileFromEdgeSet(n, edges)
+	s := gncg.NewState(g, tree)
+	fmt.Printf("defining tree is a Nash equilibrium: %v\n", gncg.IsNashEquilibrium(s))
+	treeCost := s.SocialCost()
+
+	// It is also the social optimum: Price of Stability 1.
+	fmt.Printf("tree social cost: %.1f (Price of Stability = 1 by Cor. 3)\n", treeCost)
+
+	// Thm 12: any equilibrium reached by dynamics is a tree.
+	s2 := gncg.NewState(g, gncg.EmptyProfile(n))
+	res := gncg.RunBestResponseDynamics(s2, 2000)
+	fmt.Printf("\ndynamics from scratch: %s, %d edges, is tree: %v\n",
+		res.Outcome, s2.P.EdgeCount(), s2.Network().IsTree())
+	fmt.Printf("reached cost %.1f (ratio to tree: %.4f)\n",
+		s2.SocialCost(), s2.SocialCost()/treeCost)
+
+	// Thm 15: the worst case over tree metrics approaches (alpha+2)/2.
+	lb, err := gncg.Thm15Star(60, alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nworst-case tree metric (Thm 15, n=60): ratio %.4f vs limit %.2f\n",
+		lb.Ratio(), (alpha+2)/2)
+	fmt.Println("=> decentralized backbone building needs coordination when alpha is large")
+}

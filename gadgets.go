@@ -1,0 +1,116 @@
+package gncg
+
+import (
+	"gncg/internal/bitset"
+	"gncg/internal/constructions"
+	"gncg/internal/cover"
+)
+
+// SetCoverGeoGadget is the paper's Thm 16 hardness gadget: a geometric
+// GNCG instance in which agent U's best response encodes Minimum Set
+// Cover. See examples/setcoverhardness for a walkthrough.
+type SetCoverGeoGadget struct {
+	inner *constructions.SetCoverGeo
+	// Game is the gadget's game; U is the deciding agent.
+	Game *Game
+	U    int
+}
+
+// NewSetCoverGeoGadget builds the gadget for a set-cover instance over
+// universe {0..k-1} under the given p-norm. Parameters L, eps, beta must
+// satisfy k*eps < beta < L/3 (eps is the arc spread, beta the detour
+// slack).
+func NewSetCoverGeoGadget(k int, sets [][]int, L, eps, beta, p float64) (*SetCoverGeoGadget, error) {
+	sc, err := cover.NewSCInstance(k, sets)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := constructions.NewSetCoverGeo(sc, L, eps, beta, p)
+	if err != nil {
+		return nil, err
+	}
+	return &SetCoverGeoGadget{inner: inner, Game: inner.Game, U: inner.U}, nil
+}
+
+// Profile returns the gadget's fixed strategy profile (U owns nothing).
+func (g *SetCoverGeoGadget) Profile() Profile { return g.inner.Profile() }
+
+// DecodeStrategy splits a strategy of U into chosen set indices and any
+// other purchased nodes.
+func (g *SetCoverGeoGadget) DecodeStrategy(strategy []int) (sets, other []int) {
+	return g.inner.DecodeStrategy(strategy)
+}
+
+// CostOfCover evaluates U's cost when buying exactly the given sets'
+// nodes on top of state s.
+func (g *SetCoverGeoGadget) CostOfCover(s *State, sets []int) float64 {
+	strat := bitset.New(g.Game.N())
+	for _, i := range sets {
+		strat.Add(g.inner.SetNode(i))
+	}
+	work := s.Clone()
+	work.SetStrategy(g.U, strat)
+	return work.Cost(g.U)
+}
+
+// SetCoverTreeGadget is the Thm 13 analogue on a tree metric.
+type SetCoverTreeGadget struct {
+	inner *constructions.SetCoverTree
+	Game  *Game
+	U     int
+}
+
+// NewSetCoverTreeGadget builds the tree-metric gadget (same parameter
+// contract as NewSetCoverGeoGadget, without the norm).
+func NewSetCoverTreeGadget(k int, sets [][]int, L, eps, beta float64) (*SetCoverTreeGadget, error) {
+	sc, err := cover.NewSCInstance(k, sets)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := constructions.NewSetCoverTree(sc, L, eps, beta)
+	if err != nil {
+		return nil, err
+	}
+	return &SetCoverTreeGadget{inner: inner, Game: inner.Game, U: inner.U}, nil
+}
+
+// Profile returns the gadget's fixed strategy profile (U owns nothing).
+func (g *SetCoverTreeGadget) Profile() Profile { return g.inner.Profile() }
+
+// DecodeStrategy splits a strategy of U into chosen set indices and any
+// other purchased nodes.
+func (g *SetCoverTreeGadget) DecodeStrategy(strategy []int) (sets, other []int) {
+	return g.inner.DecodeStrategy(strategy)
+}
+
+// VertexCoverGadget is the Thm 4 gadget: deciding whether its profile is
+// a Nash equilibrium is equivalent to deciding whether a smaller vertex
+// cover exists.
+type VertexCoverGadget struct {
+	inner *constructions.VCReduction
+	Game  *Game
+	U     int
+}
+
+// NewVertexCoverGadget builds the gadget for a graph on n vertices.
+func NewVertexCoverGadget(n int, edges [][2]int) (*VertexCoverGadget, error) {
+	vc, err := cover.NewVCInstance(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := constructions.NewVCReduction(vc)
+	if err != nil {
+		return nil, err
+	}
+	return &VertexCoverGadget{inner: inner, Game: inner.Game, U: inner.U}, nil
+}
+
+// Profile builds the gadget profile in which U buys edges towards the
+// given vertex cover.
+func (g *VertexCoverGadget) Profile(coverSet []int) (Profile, error) {
+	return g.inner.Profile(coverSet)
+}
+
+// PredictedUCost is the closed-form cost 3N + 6m + k of U buying a
+// cover of size k.
+func (g *VertexCoverGadget) PredictedUCost(k int) float64 { return g.inner.UCost(k) }

@@ -1,0 +1,161 @@
+package gncg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSetCoverGeoGadgetFacade(t *testing.T) {
+	gadget, err := NewSetCoverGeoGadget(4, [][]int{{0, 1}, {2, 3}, {1, 2}}, 100, 0.001, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewState(gadget.Game, gadget.Profile())
+	br := ExactBestResponse(s, gadget.U)
+	sets, other := gadget.DecodeStrategy(br.Strategy)
+	if len(other) != 0 {
+		t.Fatalf("non-set purchases %v", other)
+	}
+	if len(sets) != 2 { // min cover is {0,1} or {1,...}: sizes 2
+		t.Fatalf("BR buys %d sets, want 2", len(sets))
+	}
+	// CostOfCover of the BR sets matches the BR cost.
+	if got := gadget.CostOfCover(s, sets); math.Abs(got-br.Cost) > 1e-9 {
+		t.Fatalf("CostOfCover %v != BR cost %v", got, br.Cost)
+	}
+	// A bigger cover costs strictly more.
+	if gadget.CostOfCover(s, []int{0, 1, 2}) <= br.Cost {
+		t.Fatal("oversized cover not more expensive")
+	}
+}
+
+func TestSetCoverGeoGadgetValidation(t *testing.T) {
+	if _, err := NewSetCoverGeoGadget(2, [][]int{{0}}, 100, 0.001, 1, 2); err == nil {
+		t.Fatal("uncoverable universe accepted")
+	}
+	if _, err := NewSetCoverGeoGadget(2, [][]int{{0, 1}}, 100, 1, 1, 2); err == nil {
+		t.Fatal("beta <= k*eps accepted")
+	}
+}
+
+func TestSetCoverTreeGadgetFacade(t *testing.T) {
+	gadget, err := NewSetCoverTreeGadget(3, [][]int{{0, 1}, {1, 2}, {2}}, 100, 0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewState(gadget.Game, gadget.Profile())
+	br := ExactBestResponse(s, gadget.U)
+	sets, other := gadget.DecodeStrategy(br.Strategy)
+	if len(other) != 0 || len(sets) != 2 {
+		t.Fatalf("BR sets %v other %v, want a 2-set cover", sets, other)
+	}
+}
+
+func TestVertexCoverGadgetFacade(t *testing.T) {
+	gadget, err := NewVertexCoverGadget(3, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pMin, err := gadget.Profile([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewState(gadget.Game, pMin)
+	if got, want := s.Cost(gadget.U), gadget.PredictedUCost(1); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("cost(u) = %v, want %v", got, want)
+	}
+	if !IsNashEquilibrium(s) {
+		t.Fatal("minimum-cover profile must be NE")
+	}
+	pBig, err := gadget.Profile([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsNashEquilibrium(NewState(gadget.Game, pBig)) {
+		t.Fatal("oversized-cover profile must not be NE")
+	}
+	if _, err := gadget.Profile([]int{0}); err == nil {
+		t.Fatal("non-cover accepted")
+	}
+	if _, err := NewVertexCoverGadget(2, nil); err == nil {
+		t.Fatal("edgeless instance accepted")
+	}
+}
+
+func TestFindImprovingCycleFacade(t *testing.T) {
+	// The Fig 8 search through the public facade, small budget just to
+	// exercise the wiring; the full-budget version lives in the
+	// experiments harness and internal tests.
+	host, err := HostFromPoints([][]float64{
+		{3, 0}, {0, 3}, {2, 2}, {0, 2}, {1, 1},
+		{4, 3}, {2, 0}, {4, 1}, {1, 4}, {1, 0},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGame(host, 1)
+	w, ok := FindImprovingCycle(g, CycleSearchConfig{
+		Restarts: 120, MaxMoves: 2000, EdgeProb: 0.3, Seed: 7, RandomSched: true,
+	})
+	if !ok {
+		t.Skip("cycle not found with facade budget")
+	}
+	if !VerifyImprovingCycle(g, w) {
+		t.Fatal("facade-found cycle failed verification")
+	}
+}
+
+func TestCensusFacade(t *testing.T) {
+	host, err := HostFromTree(4, []Edge{{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3}, {U: 1, V: 3, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ExhaustiveEquilibriumCensus(NewGame(host, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nash == 0 {
+		t.Fatal("no NE on tree census")
+	}
+	if math.Abs(c.PoS()-1) > 1e-9 {
+		t.Fatalf("tree PoS = %v, want 1 (Cor. 3)", c.PoS())
+	}
+	if _, err := ExhaustiveEquilibriumCensus(NewGame(UnitHost(7), 1)); err == nil {
+		t.Fatal("census accepted n=7")
+	}
+}
+
+func TestSingleAgentGame(t *testing.T) {
+	// Degenerate n=1: no edges possible, zero cost, trivially NE.
+	g := NewGame(UnitHost(1), 1)
+	s := NewState(g, EmptyProfile(1))
+	if got := s.Cost(0); got != 0 {
+		t.Fatalf("single-agent cost %v", got)
+	}
+	if !IsNashEquilibrium(s) || !IsGreedyEquilibrium(s) {
+		t.Fatal("single-agent game must be trivially stable")
+	}
+	if s.SocialCost() != 0 {
+		t.Fatal("single-agent social cost must be 0")
+	}
+}
+
+func TestTwoAgentGame(t *testing.T) {
+	host, err := HostFromPoints([][]float64{{0}, {5}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGame(host, 2)
+	s := NewState(g, EmptyProfile(2))
+	res := RunBestResponseDynamics(s, 10)
+	if res.Outcome != Converged {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	// One agent buys the single edge: social cost α·5 + 5 + 5.
+	if got, want := s.SocialCost(), 2.0*5+10; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("social cost %v, want %v", got, want)
+	}
+	if s.P.EdgeCount() != 1 {
+		t.Fatalf("edge count %d", s.P.EdgeCount())
+	}
+}

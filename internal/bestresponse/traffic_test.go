@@ -1,0 +1,91 @@
+package bestresponse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gncg/internal/game"
+)
+
+// TestExactMatchesBruteForceUnderTraffic: the UMFL reduction remains
+// exact for the traffic-weighted extension (client connection costs are
+// scaled by the demand), verified against exhaustive enumeration with
+// random asymmetric demand matrices.
+func TestExactMatchesBruteForceUnderTraffic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		g := randomPointGame(rng, n, 0.3+2*rng.Float64())
+		tr := make([][]float64, n)
+		for u := range tr {
+			tr[u] = make([]float64, n)
+			for v := range tr[u] {
+				if u != v {
+					// Mix of zero, fractional and heavy demands.
+					switch rng.Intn(3) {
+					case 0:
+						tr[u][v] = 0
+					case 1:
+						tr[u][v] = rng.Float64()
+					default:
+						tr[u][v] = 1 + rng.Float64()*4
+					}
+				}
+			}
+		}
+		if err := g.SetTraffic(tr); err != nil {
+			return false
+		}
+		s := randomState(rng, g, 0.35)
+		for u := 0; u < n; u++ {
+			exact := Exact(s, u)
+			brute := BruteForce(s, u)
+			bothInf := math.IsInf(exact.Cost, 1) && math.IsInf(brute.Cost, 1)
+			if !bothInf && math.Abs(exact.Cost-brute.Cost) > 1e-6 {
+				t.Logf("seed %d agent %d: exact %v brute %v", seed, u, exact.Cost, brute.Cost)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTrafficSkewsBestResponse: an agent with demand concentrated on one
+// far node buys towards it even when uniform demand would not.
+func TestTrafficSkewsBestResponse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomPointGame(rng, 5, 2)
+	// Star around 0; agent 4's demand is entirely towards node 1.
+	tr := make([][]float64, 5)
+	for u := range tr {
+		tr[u] = make([]float64, 5)
+		for v := range tr[u] {
+			if u != v {
+				tr[u][v] = 1
+			}
+		}
+	}
+	for v := 0; v < 4; v++ {
+		tr[4][v] = 0
+	}
+	tr[4][1] = 100
+	if err := g.SetTraffic(tr); err != nil {
+		t.Fatal(err)
+	}
+	s := game.NewState(g, game.StarProfile(5, 0))
+	br := Exact(s, 4)
+	if !br.Strategy.Has(1) && !s.P.HasEdge(4, 1) {
+		// With demand weight 100, the detour through the star center must
+		// be worth shortcutting unless the direct edge is barely longer.
+		detour := g.Host.Weight(4, 0) + g.Host.Weight(0, 1)
+		direct := g.Host.Weight(4, 1)
+		if 100*(detour-direct) > g.Alpha*direct+1e-9 {
+			t.Fatalf("heavy demand towards 1 not served: BR = %v", br.Strategy.Elems())
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Package constructions builds, as code, every explicit instance from the
+// paper's proofs and figures: the Price-of-Anarchy lower-bound families
+// (Thms 8, 15, 18, 19, Lemma 8, Fig. 3/6/9/10), the hardness-reduction
+// gadgets (Fig. 2/Thm 4, Fig. 4/Thm 13, Fig. 7/Thm 16), the non-metric
+// triangle witness (Thm 20), and the Fig. 8 point set for the
+// best-response-cycle search (Thm 17).
+//
+// Each lower-bound builder returns the game, the candidate equilibrium
+// profile (with the ownership the proof requires), the candidate optimum
+// edge set, and the paper's predicted cost ratio, so the experiment
+// harness can mechanically check (i) the equilibrium property and (ii)
+// the ratio against the closed form.
+package constructions
+
+import (
+	"gncg/internal/game"
+	"gncg/internal/graph"
+)
+
+// LowerBound is one instantiated PoA lower-bound construction.
+type LowerBound struct {
+	Name        string
+	Game        *game.Game
+	Equilibrium game.Profile
+	Optimum     []graph.Edge
+	// Predicted is the paper's ratio for these parameters. When
+	// Asymptotic is true the formula holds in the limit of the family's
+	// size parameter and finite instances approach it from below or
+	// above; otherwise it is exact for this instance.
+	Predicted  float64
+	Asymptotic bool
+}
+
+// EquilibriumCost returns the social cost of the candidate equilibrium.
+func (lb *LowerBound) EquilibriumCost() float64 {
+	return game.NewState(lb.Game, lb.Equilibrium.Clone()).SocialCost()
+}
+
+// OptimumCost returns the social cost of the candidate optimum edge set.
+func (lb *LowerBound) OptimumCost() float64 {
+	return game.SocialCostOfEdgeSet(lb.Game, lb.Optimum)
+}
+
+// Ratio returns EquilibriumCost / OptimumCost: a certified lower bound on
+// the Price of Anarchy whenever the equilibrium candidate really is
+// stable (the optimum candidate only upper-bounds OPT, which can only
+// shrink the reported ratio).
+func (lb *LowerBound) Ratio() float64 {
+	return lb.EquilibriumCost() / lb.OptimumCost()
+}

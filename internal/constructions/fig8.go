@@ -1,0 +1,44 @@
+package constructions
+
+import (
+	"gncg/internal/game"
+	"gncg/internal/metric"
+)
+
+// Fig8Coordinates are the ten published points of Fig. 8, on which the
+// paper exhibits a best-response cycle under the 1-norm (Thm 17: the
+// Rd–GNCG with the 1-norm does not have the finite improvement property).
+// The drawing fixes the cyclic strategy profiles and the α used; only the
+// coordinates are recoverable from the text, so the experiment harness
+// searches for a machine-verified improving-move cycle on this exact
+// point set across an α grid (see dynamics.FindCycle).
+var Fig8Coordinates = [][]float64{
+	{3, 0}, // a0
+	{0, 3}, // a1
+	{2, 2}, // a2
+	{0, 2}, // a3
+	{1, 1}, // a4
+	{4, 3}, // a5
+	{2, 0}, // a6
+	{4, 1}, // a7
+	{1, 4}, // a8
+	{1, 0}, // a9
+}
+
+// Fig8Game returns the Rd–GNCG on the Fig. 8 point set under the 1-norm
+// with the given α.
+func Fig8Game(alpha float64) *game.Game {
+	pts, err := metric.NewPoints(copyCoords(Fig8Coordinates), 1)
+	if err != nil {
+		panic("constructions: " + err.Error()) // static coordinates
+	}
+	return game.New(game.NewHost(pts), alpha)
+}
+
+func copyCoords(cs [][]float64) [][]float64 {
+	out := make([][]float64, len(cs))
+	for i, c := range cs {
+		out[i] = append([]float64(nil), c...)
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package constructions
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"gncg/internal/bestresponse"
+	"gncg/internal/cover"
+	"gncg/internal/game"
+	"gncg/internal/gen"
+)
+
+func mustVC(t *testing.T, n int, edges [][2]int) *cover.VCInstance {
+	t.Helper()
+	ins, err := cover.NewVCInstance(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+func mustSC(t *testing.T, k int, sets [][]int) *cover.SCInstance {
+	t.Helper()
+	ins, err := cover.NewSCInstance(k, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+// TestVCReductionCostFormula verifies the paper's closed form: with u
+// buying a cover of size k, cost(u) = 3N + 6m + k.
+func TestVCReductionCostFormula(t *testing.T) {
+	vc := mustVC(t, 3, [][2]int{{0, 1}, {1, 2}})
+	r, err := NewVCReduction(vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cov := range [][]int{{1}, {0, 1}, {0, 2}, {0, 1, 2}} {
+		p, err := r.Profile(cov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := game.NewState(r.Game, p)
+		if got, want := s.Cost(r.U), r.UCost(len(cov)); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("cover %v: cost(u) = %v, want %v", cov, got, want)
+		}
+	}
+}
+
+// TestVCReductionBRMatchesMinCover: u's exact best-response cost equals
+// 3N + 6m + |minimum cover|.
+func TestVCReductionBRMatchesMinCover(t *testing.T) {
+	cases := []struct {
+		n     int
+		edges [][2]int
+	}{
+		{3, [][2]int{{0, 1}, {1, 2}}},         // path: min cover 1
+		{3, [][2]int{{0, 1}, {1, 2}, {0, 2}}}, // triangle: min cover 2
+		{4, [][2]int{{0, 1}, {1, 2}, {2, 3}}}, // P4: min cover 2
+		{4, [][2]int{{0, 1}, {0, 2}, {0, 3}}}, // star: min cover 1
+	}
+	for _, tc := range cases {
+		vc := mustVC(t, tc.n, tc.edges)
+		r, err := NewVCReduction(vc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kmin := len(cover.MinVertexCover(vc))
+		full := make([]int, tc.n)
+		for i := range full {
+			full[i] = i
+		}
+		p, err := r.Profile(full) // start from the trivial cover
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := game.NewState(r.Game, p)
+		br := bestresponse.Exact(s, r.U)
+		if want := r.UCost(kmin); math.Abs(br.Cost-want) > 1e-9 {
+			t.Fatalf("edges %v: BR cost %v, want %v (kmin=%d)", tc.edges, br.Cost, want, kmin)
+		}
+	}
+}
+
+// TestVCReductionNEIffMinimum: the gadget profile is an NE exactly when
+// the planted cover is minimum (Thm 4's equivalence).
+func TestVCReductionNEIffMinimum(t *testing.T) {
+	vc := mustVC(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	r, err := NewVCReduction(vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minCover := cover.MinVertexCover(vc) // size 2
+	pMin, err := r.Profile(minCover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bestresponse.IsNash(game.NewState(r.Game, pMin)) {
+		t.Fatal("profile with minimum cover is not an NE")
+	}
+	// Non-minimum cover: {0,1,2} covers everything but is size 3 > 2.
+	pBig, err := r.Profile([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBig := game.NewState(r.Game, pBig)
+	if bestresponse.IsNash(sBig) {
+		t.Fatal("profile with non-minimum cover is an NE")
+	}
+	// The deviation must come from u.
+	br := bestresponse.Exact(sBig, r.U)
+	if !r.Game.Improves(br.Cost, sBig.Cost(r.U)) {
+		t.Fatal("u has no improving deviation despite non-minimum cover")
+	}
+}
+
+// TestSetCoverTreeBRIsMinCover: exact best responses in the Thm 13 tree
+// gadget buy exactly a minimum set cover's set nodes.
+func TestSetCoverTreeBRIsMinCover(t *testing.T) {
+	cases := []*cover.SCInstance{
+		mustSC(t, 3, [][]int{{0, 1}, {1, 2}, {2}}),
+		mustSC(t, 4, [][]int{{0, 1}, {2, 3}, {0, 2}, {1, 3}}),
+		mustSC(t, 5, [][]int{{0, 1, 2}, {2, 3}, {3, 4}, {0, 4}}),
+	}
+	for ci, sc := range cases {
+		r, err := NewSetCoverTree(sc, 100, 0.01, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := game.NewState(r.Game, r.Profile())
+		br := bestresponse.Exact(s, r.U)
+		sets, other := r.DecodeStrategy(br.Strategy.Elems())
+		if len(other) != 0 {
+			t.Fatalf("case %d: BR buys non-set nodes %v", ci, other)
+		}
+		if !sc.IsSetCover(sets) {
+			t.Fatalf("case %d: BR sets %v are not a cover", ci, sets)
+		}
+		kmin := len(cover.MinSetCover(sc))
+		if len(sets) != kmin {
+			t.Fatalf("case %d: BR buys %d sets, minimum cover is %d", ci, len(sets), kmin)
+		}
+	}
+}
+
+// TestSetCoverTreeCoverSizeMonotone: among cover-buying strategies, cost
+// strictly decreases with cover size (the -Δβ + 2kε < 0 computation).
+func TestSetCoverTreeCoverSizeMonotone(t *testing.T) {
+	sc := mustSC(t, 4, [][]int{{0, 1}, {2, 3}, {0, 2}, {1, 3}, {0, 1, 2, 3}})
+	r, err := NewSetCoverTree(sc, 100, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := game.NewState(r.Game, r.Profile())
+	costOf := func(sets []int) float64 {
+		strat := s.P.S[r.U].Clone()
+		strat.Clear()
+		for _, i := range sets {
+			strat.Add(r.SetNode(i))
+		}
+		work := s.Clone()
+		work.SetStrategy(r.U, strat)
+		return work.Cost(r.U)
+	}
+	small := costOf([]int{4})        // the universal set: cover of size 1
+	big := costOf([]int{0, 1})       // cover of size 2
+	bigger := costOf([]int{0, 1, 2}) // cover of size 3
+	if !(small < big && big < bigger) {
+		t.Fatalf("cover costs not monotone in size: %v %v %v", small, big, bigger)
+	}
+}
+
+// TestSetCoverGeoBRIsMinCover: the geometric Thm 16 gadget, under both
+// the 2-norm and the 1-norm.
+func TestSetCoverGeoBRIsMinCover(t *testing.T) {
+	for _, p := range []float64{1, 2} {
+		sc := mustSC(t, 4, [][]int{{0, 1}, {2, 3}, {0, 2}, {1, 3}})
+		r, err := NewSetCoverGeo(sc, 100, 0.01, 1, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := game.NewState(r.Game, r.Profile())
+		br := bestresponse.Exact(s, r.U)
+		sets, other := r.DecodeStrategy(br.Strategy.Elems())
+		if len(other) != 0 {
+			t.Fatalf("p=%v: BR buys non-set nodes %v", p, other)
+		}
+		if !sc.IsSetCover(sets) {
+			t.Fatalf("p=%v: BR sets %v are not a cover", p, sets)
+		}
+		if kmin := len(cover.MinSetCover(sc)); len(sets) != kmin {
+			t.Fatalf("p=%v: BR buys %d sets, minimum is %d", p, len(sets), kmin)
+		}
+	}
+}
+
+// TestSetCoverGadgetsOnRandomInstances drives both gadgets with random
+// set-cover instances and cross-checks against the exact cover solver.
+func TestSetCoverGadgetsOnRandomInstances(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		sc := gen.SC(seed, 4, 4, 0.45)
+		kmin := len(cover.MinSetCover(sc))
+
+		tr, err := NewSetCoverTree(sc, 100, 0.001, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sTree := game.NewState(tr.Game, tr.Profile())
+		brTree := bestresponse.Exact(sTree, tr.U)
+		setsTree, otherTree := tr.DecodeStrategy(brTree.Strategy.Elems())
+		if len(otherTree) != 0 || !sc.IsSetCover(setsTree) || len(setsTree) != kmin {
+			t.Fatalf("seed %d: tree gadget BR %v (extra %v), kmin %d", seed, setsTree, otherTree, kmin)
+		}
+
+		ge, err := NewSetCoverGeo(sc, 100, 0.001, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sGeo := game.NewState(ge.Game, ge.Profile())
+		brGeo := bestresponse.Exact(sGeo, ge.U)
+		setsGeo, otherGeo := ge.DecodeStrategy(brGeo.Strategy.Elems())
+		if len(otherGeo) != 0 || !sc.IsSetCover(setsGeo) || len(setsGeo) != kmin {
+			t.Fatalf("seed %d: geo gadget BR %v (extra %v), kmin %d", seed, setsGeo, otherGeo, kmin)
+		}
+	}
+}
+
+func TestGadgetParameterValidation(t *testing.T) {
+	sc := mustSC(t, 3, [][]int{{0, 1}, {1, 2}, {2}})
+	if _, err := NewSetCoverTree(sc, 100, 1, 1); err == nil {
+		t.Error("beta <= k*eps accepted")
+	}
+	if _, err := NewSetCoverTree(sc, 100, 0.01, 50); err == nil {
+		t.Error("beta >= L/3 accepted")
+	}
+	if _, err := NewSetCoverGeo(sc, 100, 1, 1, 2); err == nil {
+		t.Error("geo beta <= k*eps accepted")
+	}
+	vcSingle := mustVC(t, 2, nil)
+	if _, err := NewVCReduction(vcSingle); err == nil {
+		t.Error("edgeless VC instance accepted")
+	}
+}
+
+func TestVCReductionRejectsNonCover(t *testing.T) {
+	vc := mustVC(t, 3, [][2]int{{0, 1}, {1, 2}})
+	r, err := NewVCReduction(vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Profile([]int{0}); err == nil {
+		t.Fatal("non-cover {0} accepted")
+	}
+}
+
+func TestDecodeStrategySorting(t *testing.T) {
+	sc := mustSC(t, 3, [][]int{{0, 1}, {1, 2}, {2}})
+	r, err := NewSetCoverTree(sc, 100, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, other := r.DecodeStrategy([]int{r.SetNode(2), r.SetNode(0), r.ElementNode(1)})
+	sort.Ints(sets)
+	if len(sets) != 2 || sets[0] != 0 || sets[1] != 2 || len(other) != 1 {
+		t.Fatalf("decode wrong: sets %v other %v", sets, other)
+	}
+}

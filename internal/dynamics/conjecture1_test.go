@@ -1,0 +1,41 @@
+package dynamics
+
+import (
+	"testing"
+
+	"gncg/internal/game"
+	"gncg/internal/gen"
+)
+
+// TestConjecture1Evidence: the paper conjectures (Conj. 1) that the
+// Rd–GNCG lacks the finite improvement property under EVERY p-norm, but
+// only proves it for the 1-norm (Thm 17). The exhaustive improving-move
+// analysis finds verified cycles on random 4-point instances under the
+// 2-norm and the 3-norm — computational support for the conjecture that
+// goes beyond the paper's own evidence.
+func TestConjecture1Evidence(t *testing.T) {
+	for _, p := range []float64{2, 3} {
+		found := false
+		for seed := int64(0); seed < 6 && !found; seed++ {
+			pts := gen.Points(seed, 4, 2, 10, p)
+			for _, alpha := range []float64{0.6, 1, 1.5, 2.5} {
+				g := game.New(game.NewHost(pts), alpha)
+				w, has, err := ExhaustiveFIP(g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !has {
+					continue
+				}
+				if !VerifyFIPWitness(g, w) {
+					t.Fatalf("p=%v seed=%d alpha=%v: witness failed verification", p, seed, alpha)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no improving-move cycle found under the %v-norm (Conj. 1 evidence regressed)", p)
+		}
+	}
+}

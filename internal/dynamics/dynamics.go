@@ -1,0 +1,211 @@
+// Package dynamics simulates the game's move dynamics and detects their
+// two possible fates: convergence to a stable state or a revisited state,
+// which certifies an improving-move cycle and hence refutes the finite
+// improvement property (the paper's Thms 14 and 17 assert exactly such
+// cycles exist for the T–GNCG and the Rd–GNCG with the 1-norm).
+//
+// Three move oracles are provided: exact best responses (expensive,
+// exponential worst case), greedy single-edge responses (polynomial, the
+// GE notion), and add-only responses (polynomial; these always converge
+// because strategies only grow, yielding the AE networks of Thm 2).
+package dynamics
+
+import (
+	"math/rand"
+
+	"gncg/internal/bestresponse"
+	"gncg/internal/bitset"
+	"gncg/internal/game"
+)
+
+// Mover computes agent u's next strategy in state s. It returns the new
+// strategy and whether it strictly improves on u's current cost.
+type Mover func(s *game.State, u int) (bitset.Set, bool)
+
+// BestResponseMover plays exact best responses.
+func BestResponseMover(s *game.State, u int) (bitset.Set, bool) {
+	br := bestresponse.Exact(s, u)
+	if !s.G.Improves(br.Cost, s.Cost(u)) {
+		return bitset.Set{}, false
+	}
+	return br.Strategy, true
+}
+
+// GreedyMover plays the best single buy/delete/swap move.
+func GreedyMover(s *game.State, u int) (bitset.Set, bool) {
+	m, _, ok := s.BestSingleMove(u)
+	if !ok {
+		return bitset.Set{}, false
+	}
+	strat := s.P.S[u].Clone()
+	switch m.Kind {
+	case game.Buy:
+		strat.Add(m.V)
+	case game.Delete:
+		strat.Remove(m.V)
+	case game.Swap:
+		strat.Remove(m.V)
+		strat.Add(m.X)
+	}
+	return strat, true
+}
+
+// AddOnlyMover plays the best single buy move (never deletes).
+func AddOnlyMover(s *game.State, u int) (bitset.Set, bool) {
+	m, _, ok := s.BestBuy(u)
+	if !ok {
+		return bitset.Set{}, false
+	}
+	strat := s.P.S[u].Clone()
+	strat.Add(m.V)
+	return strat, true
+}
+
+// ApproxBRMover plays the UMFL-local-search 3-approximate best response,
+// accepting it only when it strictly improves.
+func ApproxBRMover(s *game.State, u int) (bitset.Set, bool) {
+	br := bestresponse.ApproxLocalSearch(s, u)
+	if !s.G.Improves(br.Cost, s.Cost(u)) {
+		return bitset.Set{}, false
+	}
+	return br.Strategy, true
+}
+
+// Scheduler yields the order in which agents are offered moves in each
+// round.
+type Scheduler interface {
+	Order(round, n int) []int
+}
+
+// RoundRobin activates agents 0..n-1 in index order every round.
+type RoundRobin struct{}
+
+// Order returns 0..n-1.
+func (RoundRobin) Order(round, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// RandomOrder activates agents in a fresh seeded permutation each round.
+type RandomOrder struct{ Rng *rand.Rand }
+
+// Order returns a permutation of 0..n-1.
+func (r RandomOrder) Order(round, n int) []int { return r.Rng.Perm(n) }
+
+// Outcome summarizes a dynamics run.
+type Outcome int
+
+const (
+	// Converged: a full round passed with no agent moving.
+	Converged Outcome = iota
+	// CycleDetected: a previously seen strategy profile recurred, proving
+	// an improving-move cycle (no FIP).
+	CycleDetected
+	// Exhausted: the step budget ran out first.
+	Exhausted
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Converged:
+		return "converged"
+	case CycleDetected:
+		return "cycle"
+	case Exhausted:
+		return "exhausted"
+	default:
+		return "unknown"
+	}
+}
+
+// Trace records one improving move for replay and inspection.
+type Trace struct {
+	Agent    int
+	Strategy []int // the new strategy, as node indices
+}
+
+// Result reports how a run ended. Moves counts applied improving moves.
+// When Outcome is CycleDetected, CycleStart/CycleLen describe the
+// recurrence within History: the profile after move CycleStart+CycleLen
+// equals the one after move CycleStart.
+type Result struct {
+	Outcome    Outcome
+	Moves      int
+	Rounds     int
+	History    []Trace
+	CycleStart int
+	CycleLen   int
+}
+
+// Run simulates dynamics on state s (mutating it) until convergence,
+// state recurrence, or maxMoves applied moves. Recurrence detection
+// hashes every visited profile; hash collisions are disambiguated by
+// storing full profiles per hash bucket, so a reported cycle is exact.
+func Run(s *game.State, mover Mover, sched Scheduler, maxMoves int) Result {
+	n := s.G.N()
+	res := Result{Outcome: Exhausted}
+	seen := map[uint64][]seenEntry{}
+	record := func(moveIdx int) (int, bool) {
+		h := s.P.Hash()
+		for _, e := range seen[h] {
+			if e.profile.Equal(s.P) {
+				return e.moveIdx, true
+			}
+		}
+		seen[h] = append(seen[h], seenEntry{moveIdx: moveIdx, profile: s.P.Clone()})
+		return 0, false
+	}
+	record(0)
+	for res.Moves < maxMoves {
+		res.Rounds++
+		movedThisRound := false
+		for _, u := range sched.Order(res.Rounds, n) {
+			if res.Moves >= maxMoves {
+				break
+			}
+			strat, ok := mover(s, u)
+			if !ok {
+				continue
+			}
+			s.SetStrategy(u, strat)
+			res.Moves++
+			movedThisRound = true
+			res.History = append(res.History, Trace{Agent: u, Strategy: strat.Elems()})
+			if at, dup := record(res.Moves); dup {
+				res.Outcome = CycleDetected
+				res.CycleStart = at
+				res.CycleLen = res.Moves - at
+				return res
+			}
+		}
+		if !movedThisRound {
+			res.Outcome = Converged
+			return res
+		}
+	}
+	return res
+}
+
+type seenEntry struct {
+	moveIdx int
+	profile game.Profile
+}
+
+// RunAddOnly runs add-only dynamics to completion. Add-only dynamics
+// always converge (strategies only grow and each buy strictly improves
+// the buyer), so the result state is an add-only equilibrium; Thm 2 and
+// Cor. 2 then bound how unstable it can be — for CONNECTED states. Start
+// from a connected profile (e.g. game.StarProfile): from a sufficiently
+// disconnected state no single purchase yields finite cost, so the empty
+// network is vacuously add-only stable yet infinitely bad, a degenerate
+// case the paper's finite-cost arguments exclude. The move bound guards
+// against pathological float behaviour only.
+func RunAddOnly(s *game.State, sched Scheduler) Result {
+	n := s.G.N()
+	maxMoves := n*n + n // each agent can buy at most n-1 edges
+	return Run(s, AddOnlyMover, sched, maxMoves)
+}

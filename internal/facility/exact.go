@@ -1,0 +1,134 @@
+package facility
+
+import (
+	"math"
+	"sort"
+
+	"gncg/internal/bitset"
+)
+
+// Exact solves the instance optimally by branch-and-bound over the
+// non-locked facilities. Facilities with zero opening cost are pre-opened
+// (opening them is free and can only lower connection costs), locked
+// facilities are always open, and facilities with +Inf opening cost are
+// never opened. The bound combines the accumulated cost with a per-client
+// suffix minimum over the not-yet-decided facilities.
+//
+// UMFL is NP-hard, so worst-case time is exponential in the number of
+// undecided facilities; the bound keeps the instances arising from
+// exact best-response computation (tens of facilities) comfortably fast.
+func Exact(ins *Instance) Solution {
+	nf, nc := ins.NumFacilities(), ins.NumClients()
+
+	// Partition facilities: forced open (locked or free), candidates
+	// (finite positive cost), impossible (+Inf cost).
+	open := bitset.New(nf)
+	assign := make([]float64, nc)
+	for x := range assign {
+		assign[x] = math.Inf(1)
+	}
+	baseOpen := 0.0
+	var cand []int
+	for f := 0; f < nf; f++ {
+		switch {
+		case ins.Locked[f] || ins.OpenCost[f] == 0:
+			if !ins.Locked[f] {
+				open.Add(f)
+			}
+			baseOpen += ins.OpenCost[f]
+			for x := 0; x < nc; x++ {
+				if ins.Conn[x][f] < assign[x] {
+					assign[x] = ins.Conn[x][f]
+				}
+			}
+		case math.IsInf(ins.OpenCost[f], 1):
+			// never open
+		default:
+			cand = append(cand, f)
+		}
+	}
+
+	// Order candidates by decreasing standalone usefulness: the total
+	// saving they would produce against the forced-open baseline. Deciding
+	// impactful facilities early tightens the bound sooner.
+	saving := make([]float64, nf)
+	for _, f := range cand {
+		s := 0.0
+		for x := 0; x < nc; x++ {
+			if d := assign[x] - ins.Conn[x][f]; d > 0 && !math.IsInf(d, 1) {
+				s += d
+			}
+			if math.IsInf(assign[x], 1) && !math.IsInf(ins.Conn[x][f], 1) {
+				s = math.Inf(1)
+			}
+		}
+		saving[f] = s
+	}
+	sort.Slice(cand, func(i, j int) bool { return saving[cand[i]] > saving[cand[j]] })
+
+	// suffixMin[i][x] = min connection cost for client x over candidates
+	// cand[i:], used as the optimistic completion bound.
+	suffixMin := make([][]float64, len(cand)+1)
+	suffixMin[len(cand)] = make([]float64, nc)
+	for x := range suffixMin[len(cand)] {
+		suffixMin[len(cand)][x] = math.Inf(1)
+	}
+	for i := len(cand) - 1; i >= 0; i-- {
+		row := make([]float64, nc)
+		f := cand[i]
+		for x := 0; x < nc; x++ {
+			row[x] = math.Min(suffixMin[i+1][x], ins.Conn[x][f])
+		}
+		suffixMin[i] = row
+	}
+
+	// Seed with the greedy solution as the incumbent.
+	best := Greedy(ins)
+
+	var rec func(i int, openCost float64, assign []float64, chosen bitset.Set)
+	rec = func(i int, openCost float64, assign []float64, chosen bitset.Set) {
+		// Optimistic completion: every client connects to the better of
+		// its current assignment and the best still-available facility.
+		lb := openCost
+		for x := 0; x < nc; x++ {
+			lb += math.Min(assign[x], suffixMin[i][x])
+		}
+		if lb >= best.Cost {
+			return
+		}
+		if i == len(cand) {
+			total := openCost
+			for x := 0; x < nc; x++ {
+				total += assign[x]
+			}
+			if total < best.Cost {
+				best = Solution{Open: chosen.Clone(), Cost: total}
+			}
+			return
+		}
+		f := cand[i]
+		// Branch 1: open f.
+		newAssign := make([]float64, nc)
+		for x := 0; x < nc; x++ {
+			newAssign[x] = math.Min(assign[x], ins.Conn[x][f])
+		}
+		chosen.Add(f)
+		rec(i+1, openCost+ins.OpenCost[f], newAssign, chosen)
+		chosen.Remove(f)
+		// Branch 2: skip f.
+		rec(i+1, openCost, assign, chosen)
+	}
+	start := chosenUnion(open, nf)
+	rec(0, baseOpen, assign, start)
+	// Merge forced-but-free facilities into the reported open set so Eval
+	// round-trips (Eval adds locked ones itself).
+	best.Open.Union(open)
+	best.Cost = ins.Eval(best.Open)
+	return best
+}
+
+func chosenUnion(open bitset.Set, nf int) bitset.Set {
+	s := bitset.New(nf)
+	s.Union(open)
+	return s
+}

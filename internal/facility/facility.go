@@ -1,0 +1,158 @@
+// Package facility implements Uncapacitated Facility Location: choose a
+// set of facilities to open (paying per-facility opening costs) and assign
+// every client to its cheapest open facility (paying connection costs), to
+// minimize the total.
+//
+// The paper (Thm 3) reduces an agent's strategy improvement in the metric
+// GNCG to UMFL: facilities are the agent's potential neighbors, opening
+// cost is the edge price (0 for edges already paid for by others), and
+// connection cost is w(u,v) plus the network distance from v with the
+// agent removed. Because the reduction is cost-preserving and bijective,
+// an exact UMFL solver *is* an exact best-response solver, and single-step
+// UMFL local search (open/close/swap one facility, Arya et al. 2004,
+// locality gap 3) is the paper's 3-approximate best response.
+//
+// Facilities may be "locked" open: they model edges bought by other
+// agents, which the deviating agent cannot remove.
+package facility
+
+import (
+	"fmt"
+	"math"
+
+	"gncg/internal/bitset"
+)
+
+// Instance is an UMFL instance. Conn is indexed [client][facility]. A
+// locked facility is always open and charges its opening cost never (use
+// opening cost 0 for the game reduction; nonzero locked costs are simply
+// constants).
+type Instance struct {
+	OpenCost []float64
+	Conn     [][]float64
+	Locked   []bool
+}
+
+// NewInstance validates dimensions and cost signs.
+func NewInstance(openCost []float64, conn [][]float64, locked []bool) (*Instance, error) {
+	nf := len(openCost)
+	if locked == nil {
+		locked = make([]bool, nf)
+	}
+	if len(locked) != nf {
+		return nil, fmt.Errorf("facility: locked length %d, want %d", len(locked), nf)
+	}
+	for f, c := range openCost {
+		if c < 0 || math.IsNaN(c) {
+			return nil, fmt.Errorf("facility: invalid opening cost %v at %d", c, f)
+		}
+	}
+	for i, row := range conn {
+		if len(row) != nf {
+			return nil, fmt.Errorf("facility: client %d has %d connection costs, want %d", i, len(row), nf)
+		}
+		for f, c := range row {
+			if c < 0 || math.IsNaN(c) {
+				return nil, fmt.Errorf("facility: invalid connection cost %v at client %d facility %d", c, i, f)
+			}
+		}
+	}
+	return &Instance{OpenCost: openCost, Conn: conn, Locked: locked}, nil
+}
+
+// NumFacilities returns the number of facilities.
+func (ins *Instance) NumFacilities() int { return len(ins.OpenCost) }
+
+// NumClients returns the number of clients.
+func (ins *Instance) NumClients() int { return len(ins.Conn) }
+
+// Eval returns the total cost of opening exactly the given set (locked
+// facilities are added implicitly): opening costs of open non-locked and
+// locked facilities alike, plus each client's cheapest open connection.
+// Returns +Inf when some client has no finite connection.
+func (ins *Instance) Eval(open bitset.Set) float64 {
+	total := 0.0
+	isOpen := make([]bool, ins.NumFacilities())
+	for f := range isOpen {
+		if ins.Locked[f] || open.Has(f) {
+			isOpen[f] = true
+			total += ins.OpenCost[f]
+		}
+	}
+	for _, row := range ins.Conn {
+		best := math.Inf(1)
+		for f, c := range row {
+			if isOpen[f] && c < best {
+				best = c
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+// Solution is an UMFL outcome: the non-locked facilities opened and the
+// total cost (locked facilities included implicitly).
+type Solution struct {
+	Open bitset.Set
+	Cost float64
+}
+
+// Greedy builds a solution by repeatedly opening the facility with the
+// best marginal improvement, starting from only the locked facilities.
+// It is used to seed the exact solver with an upper bound and as a cheap
+// standalone heuristic.
+func Greedy(ins *Instance) Solution {
+	nf, nc := ins.NumFacilities(), ins.NumClients()
+	open := bitset.New(nf)
+	assign := make([]float64, nc)
+	openSum := 0.0
+	for x := range assign {
+		assign[x] = math.Inf(1)
+	}
+	for f := 0; f < nf; f++ {
+		if ins.Locked[f] {
+			openSum += ins.OpenCost[f]
+			for x := 0; x < nc; x++ {
+				if ins.Conn[x][f] < assign[x] {
+					assign[x] = ins.Conn[x][f]
+				}
+			}
+		}
+	}
+	assignSum := func(extra int) float64 {
+		t := 0.0
+		for x := 0; x < nc; x++ {
+			a := assign[x]
+			if extra >= 0 && ins.Conn[x][extra] < a {
+				a = ins.Conn[x][extra]
+			}
+			t += a
+		}
+		return t
+	}
+	cost := openSum + assignSum(-1)
+	for {
+		bestF, bestCost := -1, cost
+		for f := 0; f < nf; f++ {
+			if ins.Locked[f] || open.Has(f) || math.IsInf(ins.OpenCost[f], 1) {
+				continue
+			}
+			if c := openSum + ins.OpenCost[f] + assignSum(f); c < bestCost {
+				bestCost, bestF = c, f
+			}
+		}
+		if bestF < 0 {
+			break
+		}
+		open.Add(bestF)
+		openSum += ins.OpenCost[bestF]
+		for x := 0; x < nc; x++ {
+			if ins.Conn[x][bestF] < assign[x] {
+				assign[x] = ins.Conn[x][bestF]
+			}
+		}
+		cost = bestCost
+	}
+	return Solution{Open: open, Cost: ins.Eval(open)}
+}

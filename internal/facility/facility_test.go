@@ -1,0 +1,229 @@
+package facility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gncg/internal/bitset"
+)
+
+// randomMetricInstance builds a UMFL instance from random points on the
+// line: facilities and clients are points, connection costs are distances
+// (hence metric), opening costs random.
+func randomMetricInstance(rng *rand.Rand, nf, nc int, lockSome bool) *Instance {
+	fpos := make([]float64, nf)
+	cpos := make([]float64, nc)
+	openCost := make([]float64, nf)
+	locked := make([]bool, nf)
+	for f := range fpos {
+		fpos[f] = rng.Float64() * 100
+		openCost[f] = rng.Float64() * 40
+		if lockSome && rng.Float64() < 0.2 {
+			locked[f] = true
+			openCost[f] = 0
+		}
+	}
+	for c := range cpos {
+		cpos[c] = rng.Float64() * 100
+	}
+	conn := make([][]float64, nc)
+	for c := range conn {
+		conn[c] = make([]float64, nf)
+		for f := range conn[c] {
+			conn[c][f] = math.Abs(cpos[c] - fpos[f])
+		}
+	}
+	ins, err := NewInstance(openCost, conn, locked)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+// bruteForce enumerates all facility subsets.
+func bruteForce(ins *Instance) Solution {
+	nf := ins.NumFacilities()
+	best := Solution{Cost: math.Inf(1)}
+	for mask := 0; mask < 1<<nf; mask++ {
+		open := bitset.New(nf)
+		skip := false
+		for f := 0; f < nf; f++ {
+			if mask&(1<<f) != 0 {
+				if ins.Locked[f] {
+					skip = true // locked handled implicitly; avoid double count
+					break
+				}
+				open.Add(f)
+			}
+		}
+		if skip {
+			continue
+		}
+		if c := ins.Eval(open); c < best.Cost {
+			best = Solution{Open: open, Cost: c}
+		}
+	}
+	return best
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	if _, err := NewInstance([]float64{-1}, [][]float64{{1}}, nil); err == nil {
+		t.Error("negative opening cost accepted")
+	}
+	if _, err := NewInstance([]float64{1}, [][]float64{{1, 2}}, nil); err == nil {
+		t.Error("ragged connection matrix accepted")
+	}
+	if _, err := NewInstance([]float64{1}, [][]float64{{1}}, []bool{true, false}); err == nil {
+		t.Error("wrong locked length accepted")
+	}
+}
+
+func TestEvalEmptyIsInf(t *testing.T) {
+	ins, _ := NewInstance([]float64{5}, [][]float64{{2}}, nil)
+	if got := ins.Eval(bitset.New(1)); !math.IsInf(got, 1) {
+		t.Fatalf("no open facilities must cost +Inf, got %v", got)
+	}
+}
+
+func TestEvalKnownValue(t *testing.T) {
+	ins, _ := NewInstance(
+		[]float64{5, 3},
+		[][]float64{{1, 10}, {10, 2}},
+		nil)
+	open := bitset.New(2)
+	open.Add(0)
+	open.Add(1)
+	if got := ins.Eval(open); got != 5+3+1+2 {
+		t.Fatalf("Eval = %v, want 11", got)
+	}
+}
+
+// TestExactMatchesBruteForce is the solver's ground-truth test.
+func TestExactMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nf := 1 + rng.Intn(10)
+		nc := 1 + rng.Intn(10)
+		ins := randomMetricInstance(rng, nf, nc, true)
+		want := bruteForce(ins).Cost
+		got := Exact(ins).Cost
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactRespectsLocked(t *testing.T) {
+	// A locked useless facility must stay open and not break optimality.
+	ins, _ := NewInstance(
+		[]float64{0, 2},
+		[][]float64{{50, 1}, {50, 1}},
+		[]bool{true, false})
+	sol := Exact(ins)
+	if math.Abs(sol.Cost-(2+1+1)) > 1e-9 {
+		t.Fatalf("Exact cost = %v, want 4", sol.Cost)
+	}
+	if !sol.Open.Has(1) {
+		t.Fatal("facility 1 must be opened")
+	}
+}
+
+func TestExactInfOpenCostNeverOpens(t *testing.T) {
+	ins, _ := NewInstance(
+		[]float64{math.Inf(1), 1},
+		[][]float64{{0, 5}},
+		nil)
+	sol := Exact(ins)
+	if sol.Open.Has(0) {
+		t.Fatal("facility with +Inf opening cost opened")
+	}
+	if math.Abs(sol.Cost-6) > 1e-9 {
+		t.Fatalf("cost = %v, want 6", sol.Cost)
+	}
+}
+
+func TestGreedyUpperBoundsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ins := randomMetricInstance(rng, 1+rng.Intn(12), 1+rng.Intn(12), true)
+		return Greedy(ins).Cost >= Exact(ins).Cost-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLocalSearchWithin3OfOptimum checks the Arya et al. locality gap on
+// random metric instances: a local optimum costs at most 3x the optimum.
+func TestLocalSearchWithin3OfOptimum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nf := 2 + rng.Intn(8)
+		nc := 2 + rng.Intn(8)
+		ins := randomMetricInstance(rng, nf, nc, false)
+		opt := Exact(ins).Cost
+		local := LocalSearch(ins, bitset.New(nf), 1e-12, 10000).Cost
+		if math.IsInf(local, 1) {
+			return false
+		}
+		return local <= 3*opt+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalSearchReachesLocalOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ins := randomMetricInstance(rng, 8, 10, true)
+	sol := LocalSearch(ins, bitset.New(8), 1e-12, 10000)
+	// No single open/close/swap improves: verify exhaustively.
+	nf := ins.NumFacilities()
+	check := func(open bitset.Set) {
+		if c := ins.Eval(open); c < sol.Cost-1e-9 {
+			t.Fatalf("local search missed improving move: %v < %v", c, sol.Cost)
+		}
+	}
+	for f := 0; f < nf; f++ {
+		if ins.Locked[f] {
+			continue
+		}
+		mod := sol.Open.Clone()
+		if sol.Open.Has(f) {
+			mod.Remove(f)
+		} else {
+			mod.Add(f)
+		}
+		check(mod)
+		if sol.Open.Has(f) {
+			for in := 0; in < nf; in++ {
+				if in == f || ins.Locked[in] || sol.Open.Has(in) {
+					continue
+				}
+				sw := sol.Open.Clone()
+				sw.Remove(f)
+				sw.Add(in)
+				check(sw)
+			}
+		}
+	}
+}
+
+func TestLocalSearchFromDisconnected(t *testing.T) {
+	// Starting from nothing open with no locked facilities: first move
+	// must escape the +Inf cost state.
+	ins, _ := NewInstance(
+		[]float64{7},
+		[][]float64{{3}, {4}},
+		nil)
+	sol := LocalSearch(ins, bitset.New(1), 1e-12, 100)
+	if math.IsInf(sol.Cost, 1) {
+		t.Fatal("local search stuck at +Inf")
+	}
+	if math.Abs(sol.Cost-14) > 1e-9 {
+		t.Fatalf("cost = %v, want 14", sol.Cost)
+	}
+}

@@ -1,0 +1,156 @@
+package facility
+
+import (
+	"math"
+
+	"gncg/internal/bitset"
+)
+
+// lexCost orders solutions first by how many clients are disconnected
+// (assigned +Inf), then by the finite cost part. Plain float comparison
+// cannot escape an all-Inf start because Inf < Inf never holds; the
+// lexicographic order makes every reduction in disconnected clients an
+// improvement, so local search always reaches a fully-served solution
+// when one exists (facility x serves client x at finite cost in the
+// game-derived instances).
+type lexCost struct {
+	infs int
+	sum  float64
+}
+
+func (c lexCost) less(d lexCost, eps float64) bool {
+	if c.infs != d.infs {
+		return c.infs < d.infs
+	}
+	return c.sum < d.sum-eps
+}
+
+// LocalSearch runs single-step local search from the given starting set:
+// repeatedly apply the best cost-improving move among opening one closed
+// facility, closing one open (non-locked) facility, or swapping an open
+// facility for a closed one, until no move improves by more than eps.
+//
+// Arya et al. (SIAM J. Comput. 2004) prove the locality gap of metric UFL
+// under exactly these moves is 3: any local optimum costs at most 3 times
+// the global optimum. Through the paper's Thm 3 reduction this yields
+// 3-approximate best responses in the M–GNCG, and combined with Thm 2
+// (AE ⇒ (α+1)-GE) the 3(α+1)-NE existence of Cor. 2.
+//
+// maxIters bounds the number of applied moves (local search on UMFL
+// always terminates because each move strictly decreases cost, but a
+// bound keeps adversarial float behaviour harmless). Returns the reached
+// solution.
+func LocalSearch(ins *Instance, start bitset.Set, eps float64, maxIters int) Solution {
+	nf, nc := ins.NumFacilities(), ins.NumClients()
+	open := start.Clone()
+	for f := 0; f < nf; f++ {
+		if ins.Locked[f] {
+			open.Remove(f) // locked facilities tracked implicitly
+		}
+	}
+	isOpen := func(f int) bool { return ins.Locked[f] || open.Has(f) }
+
+	for iter := 0; iter < maxIters; iter++ {
+		// best1/best2: cheapest and second-cheapest open connection per
+		// client, with the facility achieving best1.
+		best1 := make([]float64, nc)
+		best2 := make([]float64, nc)
+		arg1 := make([]int, nc)
+		for x := 0; x < nc; x++ {
+			best1[x], best2[x], arg1[x] = math.Inf(1), math.Inf(1), -1
+			for f := 0; f < nf; f++ {
+				if !isOpen(f) {
+					continue
+				}
+				c := ins.Conn[x][f]
+				switch {
+				case c < best1[x]:
+					best2[x] = best1[x]
+					best1[x], arg1[x] = c, f
+				case c < best2[x]:
+					best2[x] = c
+				}
+			}
+		}
+		openSum := 0.0
+		for f := 0; f < nf; f++ {
+			if isOpen(f) {
+				openSum += ins.OpenCost[f]
+			}
+		}
+		accumulate := func(base lexCost, v float64) lexCost {
+			if math.IsInf(v, 1) {
+				base.infs++
+			} else {
+				base.sum += v
+			}
+			return base
+		}
+		cur := lexCost{sum: openSum}
+		for x := 0; x < nc; x++ {
+			cur = accumulate(cur, best1[x])
+		}
+
+		bestMove := cur
+		bestApply := func() {}
+		consider := func(c lexCost, apply func()) {
+			if c.less(bestMove, eps) {
+				bestMove, bestApply = c, apply
+			}
+		}
+		// Open moves.
+		for f := 0; f < nf; f++ {
+			if isOpen(f) || math.IsInf(ins.OpenCost[f], 1) {
+				continue
+			}
+			c := lexCost{sum: openSum + ins.OpenCost[f]}
+			for x := 0; x < nc; x++ {
+				c = accumulate(c, math.Min(best1[x], ins.Conn[x][f]))
+			}
+			f := f
+			consider(c, func() { open.Add(f) })
+		}
+		// Close moves.
+		for f := 0; f < nf; f++ {
+			if !open.Has(f) {
+				continue
+			}
+			c := lexCost{sum: openSum - ins.OpenCost[f]}
+			for x := 0; x < nc; x++ {
+				if arg1[x] == f {
+					c = accumulate(c, best2[x])
+				} else {
+					c = accumulate(c, best1[x])
+				}
+			}
+			f := f
+			consider(c, func() { open.Remove(f) })
+		}
+		// Swap moves: close out, open in.
+		for out := 0; out < nf; out++ {
+			if !open.Has(out) {
+				continue
+			}
+			for in := 0; in < nf; in++ {
+				if isOpen(in) || math.IsInf(ins.OpenCost[in], 1) {
+					continue
+				}
+				c := lexCost{sum: openSum - ins.OpenCost[out] + ins.OpenCost[in]}
+				for x := 0; x < nc; x++ {
+					base := best1[x]
+					if arg1[x] == out {
+						base = best2[x]
+					}
+					c = accumulate(c, math.Min(base, ins.Conn[x][in]))
+				}
+				out, in := out, in
+				consider(c, func() { open.Remove(out); open.Add(in) })
+			}
+		}
+		if !bestMove.less(cur, eps) {
+			break
+		}
+		bestApply()
+	}
+	return Solution{Open: open, Cost: ins.Eval(open)}
+}

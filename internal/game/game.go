@@ -1,0 +1,98 @@
+// Package game implements the Generalized Network Creation Game (GNCG) of
+// Bilò, Friedrich, Lenzner and Melnichenko (SPAA 2019): the paper's core
+// contribution.
+//
+// A game is played on a complete weighted host graph H on n nodes. Every
+// node is a selfish agent; agent u's strategy S_u ⊆ V∖{u} is the set of
+// nodes u buys an edge towards, at price α·w(u,v) per edge. The strategy
+// profile s determines the created network G(s) containing edge (u,v) iff
+// v ∈ S_u or u ∈ S_v. Agent u's cost is
+//
+//	cost(u, G(s)) = α·w(u,S_u) + Σ_v d_{G(s)}(u,v),
+//
+// and the social cost is the sum over all agents. The package provides the
+// model types (Host, Game, Profile, State), exact cost accounting, single
+// edge moves (buy / delete / swap) and the equilibrium notions used
+// throughout the paper: add-only equilibrium (AE), greedy equilibrium
+// (GE), and β-approximate variants. Exact Nash checks additionally need a
+// best-response oracle and live in package bestresponse.
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"gncg/internal/metric"
+)
+
+// DefaultEps is the strict-improvement tolerance: a move improves iff it
+// lowers the mover's cost by more than this.
+const DefaultEps = 1e-9
+
+// Host is a complete weighted host graph: symmetric non-negative weights
+// with zero diagonal. +Inf weights encode unbuyable pairs (1-∞–GNCG).
+type Host struct {
+	n int
+	w [][]float64
+}
+
+// NewHost materializes a metric.Space into a host graph.
+func NewHost(s metric.Space) *Host {
+	return &Host{n: s.Size(), w: metric.Matrix(s)}
+}
+
+// HostFromMatrix wraps an explicit weight matrix, validating it through
+// metric.FromMatrix.
+func HostFromMatrix(w [][]float64) (*Host, error) {
+	s, err := metric.FromMatrix(w)
+	if err != nil {
+		return nil, err
+	}
+	return NewHost(s), nil
+}
+
+// N returns the number of agents.
+func (h *Host) N() int { return h.n }
+
+// Weight returns w(u,v).
+func (h *Host) Weight(u, v int) float64 { return h.w[u][v] }
+
+// Matrix returns the underlying weight matrix (not a copy; callers must
+// not mutate it).
+func (h *Host) Matrix() [][]float64 { return h.w }
+
+// Classify places the host in the paper's model hierarchy.
+func (h *Host) Classify(eps float64) metric.Class { return metric.Classify(h.w, eps) }
+
+// Game couples a host graph with the edge-price parameter α > 0 and the
+// strict-improvement tolerance Eps.
+type Game struct {
+	Host  *Host
+	Alpha float64
+	Eps   float64
+
+	// traffic holds optional per-pair demand weights (nil = uniform);
+	// see traffic.go.
+	traffic [][]float64
+}
+
+// New returns a game on host h with parameter alpha and the default
+// tolerance.
+func New(h *Host, alpha float64) *Game {
+	if alpha < 0 {
+		panic(fmt.Sprintf("game: negative alpha %v", alpha))
+	}
+	return &Game{Host: h, Alpha: alpha, Eps: DefaultEps}
+}
+
+// N returns the number of agents.
+func (g *Game) N() int { return g.Host.N() }
+
+// Improves reports whether newCost is a strict improvement over oldCost
+// under the game's tolerance. Any finite cost strictly improves on +Inf.
+func (g *Game) Improves(newCost, oldCost float64) bool {
+	if math.IsInf(oldCost, 1) {
+		return !math.IsInf(newCost, 1)
+	}
+	return newCost < oldCost-g.Eps
+}

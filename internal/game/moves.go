@@ -1,0 +1,181 @@
+package game
+
+import (
+	"fmt"
+	"math"
+)
+
+// MoveKind enumerates the single-edge moves of the paper's greedy
+// equilibrium notion: buying one edge, deleting one owned edge, or
+// swapping one owned edge for another.
+type MoveKind int
+
+const (
+	// Buy adds V to the agent's strategy.
+	Buy MoveKind = iota
+	// Delete removes V from the agent's strategy.
+	Delete
+	// Swap removes V and adds X.
+	Swap
+)
+
+// Move is a single-edge strategy change by one agent.
+type Move struct {
+	Agent int
+	Kind  MoveKind
+	V     int // edge endpoint bought (Buy), deleted (Delete), or deleted side of a swap
+	X     int // bought side of a swap
+}
+
+// String renders the move in the paper's vocabulary.
+func (m Move) String() string {
+	switch m.Kind {
+	case Buy:
+		return fmt.Sprintf("agent %d buys (%d,%d)", m.Agent, m.Agent, m.V)
+	case Delete:
+		return fmt.Sprintf("agent %d deletes (%d,%d)", m.Agent, m.Agent, m.V)
+	case Swap:
+		return fmt.Sprintf("agent %d swaps (%d,%d) for (%d,%d)", m.Agent, m.Agent, m.V, m.Agent, m.X)
+	default:
+		return fmt.Sprintf("invalid move kind %d", int(m.Kind))
+	}
+}
+
+// Apply mutates the state by performing the move. It panics on malformed
+// moves (buying an already-bought edge is a no-op and allowed).
+func (s *State) Apply(m Move) {
+	strat := s.P.S[m.Agent].Clone()
+	switch m.Kind {
+	case Buy:
+		strat.Add(m.V)
+	case Delete:
+		strat.Remove(m.V)
+	case Swap:
+		strat.Remove(m.V)
+		strat.Add(m.X)
+	default:
+		panic("game: invalid move kind")
+	}
+	s.SetStrategy(m.Agent, strat)
+}
+
+// CostAfter evaluates the mover's cost after the move without leaving the
+// state mutated.
+func (s *State) CostAfter(m Move) float64 {
+	old := s.P.S[m.Agent].Clone()
+	s.Apply(m)
+	c := s.Cost(m.Agent)
+	s.SetStrategy(m.Agent, old)
+	return c
+}
+
+// CandidateMoves enumerates every legal single-edge move for agent u in
+// the current state: all buys of non-owned nodes, all deletions of owned
+// edges, and all swaps of an owned edge for a non-owned node.
+func (s *State) CandidateMoves(u int) []Move {
+	n := s.G.N()
+	owned := s.P.S[u]
+	var moves []Move
+	for v := 0; v < n; v++ {
+		if v == u || owned.Has(v) {
+			continue
+		}
+		moves = append(moves, Move{Agent: u, Kind: Buy, V: v})
+	}
+	owned.ForEach(func(v int) {
+		moves = append(moves, Move{Agent: u, Kind: Delete, V: v})
+		for x := 0; x < n; x++ {
+			if x == u || x == v || owned.Has(x) {
+				continue
+			}
+			moves = append(moves, Move{Agent: u, Kind: Swap, V: v, X: x})
+		}
+	})
+	return moves
+}
+
+// BestSingleMove returns agent u's best single-edge move and the cost it
+// achieves. If no move strictly improves on the current cost, ok is false
+// and the returned cost is the current cost.
+func (s *State) BestSingleMove(u int) (best Move, cost float64, ok bool) {
+	cur := s.Cost(u)
+	cost = cur
+	for _, m := range s.CandidateMoves(u) {
+		if c := s.CostAfter(m); c < cost {
+			cost = c
+			best = m
+		}
+	}
+	ok = s.G.Improves(cost, cur)
+	if !ok {
+		cost = cur
+	}
+	return best, cost, ok
+}
+
+// BestBuy returns agent u's best single Buy move, mirroring the add-only
+// equilibrium notion.
+func (s *State) BestBuy(u int) (best Move, cost float64, ok bool) {
+	cur := s.Cost(u)
+	cost = cur
+	n := s.G.N()
+	for v := 0; v < n; v++ {
+		if v == u || s.P.S[u].Has(v) {
+			continue
+		}
+		m := Move{Agent: u, Kind: Buy, V: v}
+		if c := s.CostAfter(m); c < cost {
+			cost = c
+			best = m
+		}
+	}
+	ok = s.G.Improves(cost, cur)
+	if !ok {
+		cost = cur
+	}
+	return best, cost, ok
+}
+
+// IsAddOnlyEquilibrium reports whether no agent can strictly improve by
+// buying a single edge (the paper's AE).
+func (s *State) IsAddOnlyEquilibrium() bool {
+	for u := 0; u < s.G.N(); u++ {
+		if _, _, ok := s.BestBuy(u); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// IsGreedyEquilibrium reports whether no agent can strictly improve by a
+// single buy, delete or swap (the paper's GE, after Lenzner 2012).
+func (s *State) IsGreedyEquilibrium() bool {
+	for u := 0; u < s.G.N(); u++ {
+		if _, _, ok := s.BestSingleMove(u); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyApproxFactor returns the largest factor β by which any agent can
+// reduce its cost with a single move: the state is a β-GE. Returns 1 when
+// the state is a GE, +Inf if an agent with infinite cost can make its cost
+// finite.
+func (s *State) GreedyApproxFactor() float64 {
+	worst := 1.0
+	for u := 0; u < s.G.N(); u++ {
+		cur := s.Cost(u)
+		_, best, ok := s.BestSingleMove(u)
+		if !ok {
+			continue
+		}
+		if best <= 0 || math.IsInf(cur, 1) {
+			return math.Inf(1)
+		}
+		if f := cur / best; f > worst {
+			worst = f
+		}
+	}
+	return worst
+}

@@ -1,0 +1,165 @@
+package game
+
+import (
+	"math"
+
+	"gncg/internal/bitset"
+	"gncg/internal/graph"
+	"gncg/internal/parallel"
+)
+
+// State is a strategy profile bound to its game, with the created network
+// G(s) kept materialized. All cost queries and move evaluations go through
+// a State. States are not safe for concurrent mutation; read-only cost
+// queries on distinct sources are safe.
+type State struct {
+	G   *Game
+	P   Profile
+	net *graph.Graph
+}
+
+// NewState binds profile p to game g and materializes G(s). The profile is
+// used as-is (not cloned); callers that need the original intact should
+// pass p.Clone().
+func NewState(g *Game, p Profile) *State {
+	if p.N() != g.N() {
+		panic("game: profile size does not match host")
+	}
+	s := &State{G: g, P: p}
+	s.rebuild()
+	return s
+}
+
+func (s *State) rebuild() {
+	n := s.G.N()
+	s.net = graph.New(n)
+	for u := 0; u < n; u++ {
+		s.P.S[u].ForEach(func(v int) {
+			if !s.net.HasEdge(u, v) {
+				s.net.AddEdge(u, v, s.hostWeight(u, v))
+			}
+		})
+	}
+}
+
+// hostWeight returns w(u,v), mapping +Inf host weights onto +Inf network
+// edges (present but useless, and infinitely expensive to buy).
+func (s *State) hostWeight(u, v int) float64 { return s.G.Host.Weight(u, v) }
+
+// Network returns the created network G(s). Callers must not mutate it.
+func (s *State) Network() *graph.Graph { return s.net }
+
+// Clone returns an independent copy of the state.
+func (s *State) Clone() *State {
+	return &State{G: s.G, P: s.P.Clone(), net: s.net.Clone()}
+}
+
+// SetStrategy replaces agent u's strategy and incrementally repairs the
+// network: only u's incident edges change.
+func (s *State) SetStrategy(u int, strat bitset.Set) {
+	n := s.G.N()
+	s.P.S[u] = strat.Clone()
+	for v := 0; v < n; v++ {
+		if v == u {
+			continue
+		}
+		want := s.P.S[u].Has(v) || s.P.S[v].Has(u)
+		has := s.net.HasEdge(u, v)
+		switch {
+		case want && !has:
+			s.net.AddEdge(u, v, s.hostWeight(u, v))
+		case !want && has:
+			s.net.RemoveEdge(u, v)
+		}
+	}
+}
+
+// EdgeCost returns α·w(u,S_u): what agent u pays for its purchases.
+func (s *State) EdgeCost(u int) float64 {
+	total := 0.0
+	s.P.S[u].ForEach(func(v int) { total += s.hostWeight(u, v) })
+	return s.G.Alpha * total
+}
+
+// DistCost returns Σ_v t(u,v)·d_{G(s)}(u,v), where t is the game's
+// traffic matrix (uniformly 1 in the paper's model); +Inf if u cannot
+// reach a node it has positive demand towards.
+func (s *State) DistCost(u int) float64 {
+	dist := s.net.Dijkstra(u)
+	total := 0.0
+	for v, d := range dist {
+		if v == u {
+			continue
+		}
+		t := s.G.Traffic(u, v)
+		if t == 0 {
+			continue // zero demand tolerates disconnection
+		}
+		total += t * d
+	}
+	return total
+}
+
+// Cost returns agent u's total cost α·w(u,S_u) + d_{G(s)}(u,V).
+func (s *State) Cost(u int) float64 { return s.EdgeCost(u) + s.DistCost(u) }
+
+// TotalEdgeCost returns Σ_u α·w(u,S_u). Doubly-bought edges charge both
+// owners, per the model.
+func (s *State) TotalEdgeCost() float64 {
+	total := 0.0
+	for u := 0; u < s.G.N(); u++ {
+		total += s.EdgeCost(u)
+	}
+	return total
+}
+
+// TotalDistCost returns Σ_u Σ_v d(u,v) over ordered pairs.
+func (s *State) TotalDistCost() float64 {
+	n := s.G.N()
+	return parallel.Reduce(n, 0.0,
+		func(u int) float64 { return s.DistCost(u) },
+		func(a, b float64) float64 { return a + b })
+}
+
+// SocialCost returns the sum of all agents' costs.
+func (s *State) SocialCost() float64 { return s.TotalEdgeCost() + s.TotalDistCost() }
+
+// Connected reports whether G(s) is connected (equivalently, whether all
+// costs are finite, given finite weights).
+func (s *State) Connected() bool { return s.net.Connected() }
+
+// SocialCostOfEdgeSet evaluates the social cost of an arbitrary edge set
+// on game g assuming single ownership per edge (the relevant case for
+// social optimum candidates): α·Σw(e) + Σ_ordered pairs d(u,v).
+func SocialCostOfEdgeSet(g *Game, edges []graph.Edge) float64 {
+	net := graph.New(g.N())
+	total := 0.0
+	for _, e := range edges {
+		w := g.Host.Weight(e.U, e.V)
+		if !net.HasEdge(e.U, e.V) {
+			net.AddEdge(e.U, e.V, w)
+			total += g.Alpha * w
+		}
+	}
+	return total + net.SumDistances()
+}
+
+// ProfileFromEdgeSet turns an undirected edge set into a profile with a
+// deterministic single-ownership rule (the lower-numbered endpoint buys).
+// Constructions that need a specific ownership build profiles directly.
+func ProfileFromEdgeSet(n int, edges []graph.Edge) Profile {
+	p := EmptyProfile(n)
+	for _, e := range edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		if !p.HasEdge(u, v) {
+			p.Buy(u, v)
+		}
+	}
+	return p
+}
+
+// Inf is a convenience alias for +Inf used across experiment code.
+func Inf() float64 { return math.Inf(1) }

@@ -1,0 +1,98 @@
+package game
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gncg/internal/metric"
+)
+
+func TestTrafficValidation(t *testing.T) {
+	g := New(NewHost(metric.Unit{N: 3}), 1)
+	if err := g.SetTraffic([][]float64{{0, 1}, {1, 0}}); err == nil {
+		t.Error("wrong-sized traffic accepted")
+	}
+	if err := g.SetTraffic([][]float64{{1, 1, 1}, {1, 0, 1}, {1, 1, 0}}); err == nil {
+		t.Error("nonzero diagonal accepted")
+	}
+	if err := g.SetTraffic([][]float64{{0, -1, 1}, {1, 0, 1}, {1, 1, 0}}); err == nil {
+		t.Error("negative traffic accepted")
+	}
+	ok := [][]float64{{0, 2, 0}, {1, 0, 3}, {0.5, 1, 0}}
+	if err := g.SetTraffic(ok); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasTraffic() || g.Traffic(0, 1) != 2 || g.Traffic(1, 0) != 1 {
+		t.Error("asymmetric traffic not preserved")
+	}
+	if err := g.SetTraffic(nil); err != nil || g.HasTraffic() {
+		t.Error("nil reset failed")
+	}
+	if g.Traffic(0, 1) != 1 || g.Traffic(1, 1) != 0 {
+		t.Error("uniform traffic defaults wrong")
+	}
+}
+
+func TestTrafficDistCost(t *testing.T) {
+	// Path 0-1-2 with unit weights; traffic from 0: 5 to node 1, 0 to 2.
+	g := New(NewHost(metric.Unit{N: 3}), 1)
+	if err := g.SetTraffic([][]float64{
+		{0, 5, 0},
+		{1, 0, 1},
+		{1, 1, 0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := EmptyProfile(3)
+	p.Buy(0, 1)
+	p.Buy(1, 2)
+	s := NewState(g, p)
+	// dist(0,1)=1 weighted 5; dist(0,2)=2 weighted 0.
+	if got := s.DistCost(0); got != 5 {
+		t.Fatalf("DistCost(0) = %v, want 5", got)
+	}
+	// Zero demand tolerates disconnection: drop edge (1,2).
+	p2 := EmptyProfile(3)
+	p2.Buy(0, 1)
+	s2 := NewState(g, p2)
+	if got := s2.DistCost(0); got != 5 {
+		t.Fatalf("zero-demand disconnection: DistCost(0) = %v, want 5", got)
+	}
+	if got := s2.DistCost(1); !math.IsInf(got, 1) {
+		t.Fatalf("agent 1 has demand to unreachable 2: cost %v, want +Inf", got)
+	}
+}
+
+func TestTrafficSocialCostDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	coords := make([][]float64, 6)
+	for i := range coords {
+		coords[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	pts, err := metric.NewPoints(coords, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(NewHost(pts), 1.2)
+	tr := make([][]float64, 6)
+	for u := range tr {
+		tr[u] = make([]float64, 6)
+		for v := range tr[u] {
+			if u != v {
+				tr[u][v] = rng.Float64() * 3
+			}
+		}
+	}
+	if err := g.SetTraffic(tr); err != nil {
+		t.Fatal(err)
+	}
+	s := NewState(g, StarProfile(6, 0))
+	perAgent := 0.0
+	for u := 0; u < 6; u++ {
+		perAgent += s.Cost(u)
+	}
+	if math.Abs(perAgent-s.SocialCost()) > 1e-9 {
+		t.Fatalf("social cost decomposition broken under traffic: %v vs %v", perAgent, s.SocialCost())
+	}
+}

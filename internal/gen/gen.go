@@ -1,0 +1,192 @@
+// Package gen produces the randomized workloads the experiments run on:
+// point sets in R^d, random weighted trees, random {1,2} hosts, random
+// metric hosts, and random Vertex-Cover / Set-Cover instances. All
+// generators are deterministic functions of an explicit seed, so every
+// experiment result is reproducible from its printed parameters.
+package gen
+
+import (
+	"math/rand"
+
+	"gncg/internal/cover"
+	"gncg/internal/graph"
+	"gncg/internal/metric"
+)
+
+// Points returns n points drawn uniformly from [0,scale]^d under the
+// given p-norm.
+func Points(seed int64, n, d int, scale, p float64) *metric.Points {
+	rng := rand.New(rand.NewSource(seed))
+	coords := make([][]float64, n)
+	for i := range coords {
+		coords[i] = make([]float64, d)
+		for k := range coords[i] {
+			coords[i][k] = rng.Float64() * scale
+		}
+	}
+	pts, err := metric.NewPoints(coords, p)
+	if err != nil {
+		panic("gen: " + err.Error()) // p validated by caller contract
+	}
+	return pts
+}
+
+// ClusteredPoints returns n points grouped around k cluster centers in
+// [0,scale]^2 with the given cluster spread: the workload shape of
+// city-like fiber deployments.
+func ClusteredPoints(seed int64, n, k int, scale, spread float64) *metric.Points {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][2]float64, k)
+	for i := range centers {
+		centers[i] = [2]float64{rng.Float64() * scale, rng.Float64() * scale}
+	}
+	coords := make([][]float64, n)
+	for i := range coords {
+		c := centers[rng.Intn(k)]
+		coords[i] = []float64{
+			c[0] + rng.NormFloat64()*spread,
+			c[1] + rng.NormFloat64()*spread,
+		}
+	}
+	pts, err := metric.NewPoints(coords, 2)
+	if err != nil {
+		panic("gen: " + err.Error())
+	}
+	return pts
+}
+
+// Tree returns a random weighted tree metric on n nodes: each node v > 0
+// attaches to a uniform earlier node with weight in [minW, maxW].
+func Tree(seed int64, n int, minW, maxW float64) *metric.TreeMetric {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{
+			U: rng.Intn(v),
+			V: v,
+			W: minW + rng.Float64()*(maxW-minW),
+		})
+	}
+	tm, err := metric.NewTreeMetric(n, edges)
+	if err != nil {
+		panic("gen: " + err.Error())
+	}
+	return tm
+}
+
+// OneTwo returns a random {1,2} host on n nodes where each pair is a
+// 1-edge with probability p1.
+func OneTwo(seed int64, n int, p1 float64) *metric.OneTwo {
+	rng := rand.New(rand.NewSource(seed))
+	var ones [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p1 {
+				ones = append(ones, [2]int{u, v})
+			}
+		}
+	}
+	ot, err := metric.NewOneTwo(n, ones)
+	if err != nil {
+		panic("gen: " + err.Error())
+	}
+	return ot
+}
+
+// Metric returns a random metric host: the metric closure of a connected
+// random weighted graph (a spanning tree plus extra edges with
+// probability pExtra, weights in [1, maxW]).
+func Metric(seed int64, n int, pExtra, maxW float64) metric.Space {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(rng.Intn(v), v, 1+rng.Float64()*(maxW-1))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) && rng.Float64() < pExtra {
+				g.AddEdge(u, v, 1+rng.Float64()*(maxW-1))
+			}
+		}
+	}
+	return metric.Closure(g)
+}
+
+// NonMetric returns a random symmetric weight matrix with weights in
+// (0, maxW], with no triangle-inequality guarantee: a general GNCG host.
+func NonMetric(seed int64, n int, maxW float64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			x := rng.Float64() * maxW
+			w[u][v], w[v][u] = x, x
+		}
+	}
+	return w
+}
+
+// VC returns a random Vertex Cover instance: an Erdős–Rényi graph with
+// edge probability p. Subcubic instances (the hard case Thm 4 cites) can
+// be requested via maxDeg > 0.
+func VC(seed int64, n int, p float64, maxDeg int) *cover.VCInstance {
+	rng := rand.New(rand.NewSource(seed))
+	deg := make([]int, n)
+	var edges [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() >= p {
+				continue
+			}
+			if maxDeg > 0 && (deg[u] >= maxDeg || deg[v] >= maxDeg) {
+				continue
+			}
+			edges = append(edges, [2]int{u, v})
+			deg[u]++
+			deg[v]++
+		}
+	}
+	ins, err := cover.NewVCInstance(n, edges)
+	if err != nil {
+		panic("gen: " + err.Error())
+	}
+	return ins
+}
+
+// SC returns a random Set Cover instance over universe size k with m
+// random sets (each element joins each set with probability p), padded
+// with singletons so a cover always exists.
+func SC(seed int64, k, m int, p float64) *cover.SCInstance {
+	rng := rand.New(rand.NewSource(seed))
+	var sets [][]int
+	for i := 0; i < m; i++ {
+		var s []int
+		for e := 0; e < k; e++ {
+			if rng.Float64() < p {
+				s = append(s, e)
+			}
+		}
+		if len(s) > 0 {
+			sets = append(sets, s)
+		}
+	}
+	seen := make([]bool, k)
+	for _, s := range sets {
+		for _, e := range s {
+			seen[e] = true
+		}
+	}
+	for e, ok := range seen {
+		if !ok {
+			sets = append(sets, []int{e})
+		}
+	}
+	ins, err := cover.NewSCInstance(k, sets)
+	if err != nil {
+		panic("gen: " + err.Error())
+	}
+	return ins
+}

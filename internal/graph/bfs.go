@@ -1,0 +1,46 @@
+package graph
+
+// BFSHops returns hop counts (number of edges on a shortest path,
+// ignoring weights) from src to every vertex, with -1 for unreachable
+// vertices. On unit-weight graphs — the original NCG's host — hop
+// counts coincide with distances at a fraction of Dijkstra's cost.
+func (g *Graph) BFSHops(src int) []int {
+	g.checkVertex(src)
+	hops := make([]int, g.n)
+	for i := range hops {
+		hops[i] = -1
+	}
+	hops[src] = 0
+	queue := make([]int32, 0, g.n)
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		u := int(queue[head])
+		for _, e := range g.adj[u] {
+			if hops[e.to] < 0 {
+				hops[e.to] = hops[u] + 1
+				queue = append(queue, int32(e.to))
+			}
+		}
+	}
+	return hops
+}
+
+// HopDiameter returns the maximum finite hop distance, or -1 if the
+// graph is disconnected (0 for n <= 1).
+func (g *Graph) HopDiameter() int {
+	if g.n <= 1 {
+		return 0
+	}
+	maxh := 0
+	for src := 0; src < g.n; src++ {
+		for _, h := range g.BFSHops(src) {
+			if h < 0 {
+				return -1
+			}
+			if h > maxh {
+				maxh = h
+			}
+		}
+	}
+	return maxh
+}

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBFSHopsPath(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	hops := g.BFSHops(0)
+	for i, want := range []int{0, 1, 2, 3} {
+		if hops[i] != want {
+			t.Fatalf("hops[%d] = %d, want %d", i, hops[i], want)
+		}
+	}
+}
+
+func TestBFSHopsUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	if hops := g.BFSHops(0); hops[2] != -1 {
+		t.Fatalf("unreachable hop = %d, want -1", hops[2])
+	}
+	if g.HopDiameter() != -1 {
+		t.Fatal("disconnected hop diameter must be -1")
+	}
+}
+
+// TestBFSMatchesDijkstraOnUnitWeights: on unit-weight graphs hop counts
+// equal shortest-path distances.
+func TestBFSMatchesDijkstraOnUnitWeights(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.3 {
+					g.AddEdge(u, v, 1)
+				}
+			}
+		}
+		src := rng.Intn(n)
+		hops := g.BFSHops(src)
+		dist := g.Dijkstra(src)
+		for v := 0; v < n; v++ {
+			if hops[v] < 0 {
+				if !math.IsInf(dist[v], 1) {
+					return false
+				}
+				continue
+			}
+			if float64(hops[v]) != dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHopDiameter(t *testing.T) {
+	g := New(5)
+	for v := 1; v < 5; v++ {
+		g.AddEdge(0, v, 1)
+	}
+	if got := g.HopDiameter(); got != 2 {
+		t.Fatalf("star hop diameter = %d, want 2", got)
+	}
+	if got := New(1).HopDiameter(); got != 0 {
+		t.Fatalf("singleton hop diameter = %d, want 0", got)
+	}
+}

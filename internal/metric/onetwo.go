@@ -1,0 +1,95 @@
+package metric
+
+import "fmt"
+
+// OneTwo is a {1,2}-weighted host space (1-2–GNCG): weight 1 on the edges
+// of an underlying simple graph and weight 2 everywhere else. Every such
+// space satisfies the triangle inequality, making it the simplest
+// non-trivial metric special case.
+type OneTwo struct {
+	n    int
+	ones [][]bool
+}
+
+// NewOneTwo builds a {1,2} space on n points whose 1-edges are given as
+// vertex pairs. Pairs must be distinct valid vertices.
+func NewOneTwo(n int, oneEdges [][2]int) (*OneTwo, error) {
+	ones := make([][]bool, n)
+	for i := range ones {
+		ones[i] = make([]bool, n)
+	}
+	for _, e := range oneEdges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n || u == v {
+			return nil, fmt.Errorf("metric: invalid 1-edge (%d,%d) on %d points", u, v, n)
+		}
+		ones[u][v] = true
+		ones[v][u] = true
+	}
+	return &OneTwo{n: n, ones: ones}, nil
+}
+
+// Size returns the number of points.
+func (o *OneTwo) Size() int { return o.n }
+
+// Dist returns 1 for 1-edges, 2 for other distinct pairs, 0 on the
+// diagonal.
+func (o *OneTwo) Dist(i, j int) float64 {
+	switch {
+	case i == j:
+		return 0
+	case o.ones[i][j]:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// IsOne reports whether (i,j) is a 1-edge.
+func (o *OneTwo) IsOne(i, j int) bool { return i != j && o.ones[i][j] }
+
+// OneEdges returns the 1-edges with U < V.
+func (o *OneTwo) OneEdges() [][2]int {
+	var out [][2]int
+	for i := 0; i < o.n; i++ {
+		for j := i + 1; j < o.n; j++ {
+			if o.ones[i][j] {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// OneInf is a {1,+Inf} host space (1-∞–GNCG): the paper's encoding of a
+// general unweighted host graph, where +Inf marks edges that can never be
+// bought. It is inherently non-metric whenever any pair is at +Inf.
+type OneInf struct {
+	n    int
+	ones [][]bool
+}
+
+// NewOneInf builds a {1,∞} space on n points whose buyable (weight-1)
+// edges are given as vertex pairs.
+func NewOneInf(n int, oneEdges [][2]int) (*OneInf, error) {
+	ot, err := NewOneTwo(n, oneEdges)
+	if err != nil {
+		return nil, err
+	}
+	return &OneInf{n: n, ones: ot.ones}, nil
+}
+
+// Size returns the number of points.
+func (o *OneInf) Size() int { return o.n }
+
+// Dist returns 1 for buyable edges and +Inf for other distinct pairs.
+func (o *OneInf) Dist(i, j int) float64 {
+	switch {
+	case i == j:
+		return 0
+	case o.ones[i][j]:
+		return 1
+	default:
+		return inf
+	}
+}

@@ -1,0 +1,84 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+)
+
+// Points is a finite point set in R^d whose pairwise distances are taken
+// under a p-norm: the host space of the Rd–GNCG. P may be any value >= 1,
+// or math.Inf(1) for the max norm.
+type Points struct {
+	Coords [][]float64
+	P      float64
+}
+
+// NewPoints validates and wraps a coordinate list. All points must share
+// the same dimension and p must be >= 1 (or +Inf).
+func NewPoints(coords [][]float64, p float64) (*Points, error) {
+	if p < 1 && !math.IsInf(p, 1) {
+		return nil, fmt.Errorf("metric: p-norm requires p >= 1, got %v", p)
+	}
+	if len(coords) == 0 {
+		return &Points{Coords: coords, P: p}, nil
+	}
+	d := len(coords[0])
+	for i, c := range coords {
+		if len(c) != d {
+			return nil, fmt.Errorf("metric: point %d has dimension %d, want %d", i, len(c), d)
+		}
+	}
+	return &Points{Coords: coords, P: p}, nil
+}
+
+// Size returns the number of points.
+func (ps *Points) Size() int { return len(ps.Coords) }
+
+// Dim returns the dimension of the ambient space (0 for an empty set).
+func (ps *Points) Dim() int {
+	if len(ps.Coords) == 0 {
+		return 0
+	}
+	return len(ps.Coords[0])
+}
+
+// Dist returns the p-norm distance between points i and j.
+func (ps *Points) Dist(i, j int) float64 {
+	return PNormDist(ps.Coords[i], ps.Coords[j], ps.P)
+}
+
+// PNormDist returns ||a-b||_p for p >= 1 or p = +Inf.
+func PNormDist(a, b []float64, p float64) float64 {
+	if len(a) != len(b) {
+		panic("metric: dimension mismatch")
+	}
+	switch {
+	case math.IsInf(p, 1):
+		maxd := 0.0
+		for i := range a {
+			if d := math.Abs(a[i] - b[i]); d > maxd {
+				maxd = d
+			}
+		}
+		return maxd
+	case p == 1:
+		s := 0.0
+		for i := range a {
+			s += math.Abs(a[i] - b[i])
+		}
+		return s
+	case p == 2:
+		s := 0.0
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	default:
+		s := 0.0
+		for i := range a {
+			s += math.Pow(math.Abs(a[i]-b[i]), p)
+		}
+		return math.Pow(s, 1/p)
+	}
+}

@@ -1,0 +1,353 @@
+// Package opt computes and bounds social optimum networks: the subgraphs
+// of the host minimizing α·Σ_{e∈E} w(e) + Σ_{u,v} d(u,v) over ordered
+// pairs (the paper's OPT, the denominator of every Price-of-Anarchy
+// ratio).
+//
+// Finding OPT is a variant of the classical Network Design Problem and is
+// strongly suspected NP-hard for every model variant except two that the
+// paper solves outright: the 1-2–GNCG for α ≤ 1 (Algorithm 1: drop each
+// 2-edge closed by two 1-edges) and the T–GNCG (the defining tree is
+// optimal, Cor. 3). Accordingly this package provides: those two exact
+// polynomial cases, an exhaustive edge-subset search for small n, a
+// local-search heuristic for upper bounds at larger n, and the lower
+// bound α·MST(H) + Σ_{u,v} d_H(u,v) used to bracket ratios.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"gncg/internal/game"
+	"gncg/internal/graph"
+	"gncg/internal/metric"
+	"gncg/internal/parallel"
+)
+
+// Result is a social-optimum candidate: an edge set and its social cost.
+type Result struct {
+	Edges []graph.Edge
+	Cost  float64
+}
+
+// Algorithm1 implements the paper's Algorithm 1 for 1-2 hosts: start from
+// the complete graph and remove every 2-edge that participates in a
+// 1-1-2 triangle. For α ≤ 1 the result is a social optimum (Thm 6). The
+// host must have all weights in {1,2}; otherwise an error is returned.
+func Algorithm1(h *game.Host) (Result, error) {
+	n := h.N()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			w := h.Weight(u, v)
+			if w != 1 && w != 2 {
+				return Result{}, fmt.Errorf("opt: Algorithm1 requires a 1-2 host, found w(%d,%d)=%v", u, v, w)
+			}
+		}
+	}
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			w := h.Weight(u, v)
+			if w == 2 {
+				closed := false
+				for x := 0; x < n && !closed; x++ {
+					if x != u && x != v && h.Weight(u, x) == 1 && h.Weight(x, v) == 1 {
+						closed = true
+					}
+				}
+				if closed {
+					continue
+				}
+			}
+			edges = append(edges, graph.Edge{U: u, V: v, W: w})
+		}
+	}
+	return Result{Edges: edges, Cost: math.NaN()}, nil
+}
+
+// TreeOPT returns the defining tree of a tree metric: by Cor. 3 it is
+// both the social optimum and a Nash equilibrium of the T–GNCG.
+func TreeOPT(tm *metric.TreeMetric) Result {
+	return Result{Edges: tm.Edges(), Cost: math.NaN()}
+}
+
+// Evaluate fills in the social cost of an edge-set result for game g.
+func Evaluate(g *game.Game, r Result) Result {
+	r.Cost = game.SocialCostOfEdgeSet(g, r.Edges)
+	return r
+}
+
+// maxExactN bounds the exhaustive optimum search: n=7 means 2^21 edge
+// subsets, which parallel enumeration handles in seconds.
+const maxExactN = 7
+
+// ExactSmall computes the social optimum by exhaustive parallel
+// enumeration of edge subsets. It refuses hosts beyond maxExactN vertices.
+func ExactSmall(g *game.Game) (Result, error) {
+	n := g.N()
+	if n > maxExactN {
+		return Result{}, fmt.Errorf("opt: exact search supports n <= %d, got %d", maxExactN, n)
+	}
+	type pair struct{ u, v int }
+	var pairs []pair
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, pair{u, v})
+		}
+	}
+	m := len(pairs)
+	// Split the 2^m masks across workers by the top bits.
+	const splitBits = 6
+	split := splitBits
+	if m < split {
+		split = m
+	}
+	blocks := 1 << split
+	rest := m - split
+	results := parallel.Map(blocks, func(hi int) Result {
+		best := Result{Cost: math.Inf(1)}
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, n)
+		}
+		for lo := 0; lo < 1<<rest; lo++ {
+			mask := hi<<rest | lo
+			// Build adjacency matrix and edge cost.
+			edgeCost := 0.0
+			for i := range w {
+				for j := range w[i] {
+					if i == j {
+						w[i][j] = 0
+					} else {
+						w[i][j] = math.Inf(1)
+					}
+				}
+			}
+			for b := 0; b < m; b++ {
+				if mask&(1<<b) != 0 {
+					p := pairs[b]
+					wt := g.Host.Weight(p.u, p.v)
+					w[p.u][p.v] = wt
+					w[p.v][p.u] = wt
+					edgeCost += g.Alpha * wt
+				}
+			}
+			if edgeCost >= best.Cost {
+				continue
+			}
+			total := edgeCost + floydDistSum(w, n)
+			if total < best.Cost {
+				var edges []graph.Edge
+				for b := 0; b < m; b++ {
+					if mask&(1<<b) != 0 {
+						p := pairs[b]
+						edges = append(edges, graph.Edge{U: p.u, V: p.v, W: g.Host.Weight(p.u, p.v)})
+					}
+				}
+				best = Result{Edges: edges, Cost: total}
+			}
+		}
+		return best
+	})
+	best := Result{Cost: math.Inf(1)}
+	for _, r := range results {
+		if r.Cost < best.Cost {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// floydDistSum runs Floyd–Warshall in place on w and returns the sum of
+// distances over ordered pairs (+Inf if disconnected).
+func floydDistSum(w [][]float64, n int) float64 {
+	for k := 0; k < n; k++ {
+		wk := w[k]
+		for i := 0; i < n; i++ {
+			wik := w[i][k]
+			if math.IsInf(wik, 1) {
+				continue
+			}
+			wi := w[i]
+			for j := 0; j < n; j++ {
+				if nd := wik + wk[j]; nd < wi[j] {
+					wi[j] = nd
+				}
+			}
+		}
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				total += w[i][j]
+			}
+		}
+	}
+	return total
+}
+
+// MSTCandidate returns the minimum spanning tree of the host as an OPT
+// candidate (the optimum for α → ∞).
+func MSTCandidate(g *game.Game) Result {
+	n := g.N()
+	full := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if w := g.Host.Weight(u, v); !math.IsInf(w, 1) {
+				full.AddEdge(u, v, w)
+			}
+		}
+	}
+	edges, _ := full.MST()
+	return Evaluate(g, Result{Edges: edges})
+}
+
+// CompleteCandidate returns the full host graph as an OPT candidate (the
+// optimum for α → 0 on metric hosts).
+func CompleteCandidate(g *game.Game) Result {
+	n := g.N()
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if w := g.Host.Weight(u, v); !math.IsInf(w, 1) {
+				edges = append(edges, graph.Edge{U: u, V: v, W: w})
+			}
+		}
+	}
+	return Evaluate(g, Result{Edges: edges})
+}
+
+// lexSocial evaluates an edge set as (number of disconnected ordered
+// pairs, finite social cost part). The lexicographic order lets local
+// search escape disconnected candidates, where plain +Inf comparison
+// would see no improvement from a single edge addition.
+func lexSocial(g *game.Game, edges []graph.Edge) (infPairs int, finite float64) {
+	net := graph.New(g.N())
+	for _, e := range edges {
+		w := g.Host.Weight(e.U, e.V)
+		if !net.HasEdge(e.U, e.V) {
+			net.AddEdge(e.U, e.V, w)
+			finite += g.Alpha * w
+		}
+	}
+	for _, row := range net.APSP() {
+		for _, d := range row {
+			if math.IsInf(d, 1) {
+				infPairs++
+			} else {
+				finite += d
+			}
+		}
+	}
+	return infPairs, finite
+}
+
+func lexLess(ai int, af float64, bi int, bf float64, eps float64) bool {
+	if ai != bi {
+		return ai < bi
+	}
+	return af < bf-eps
+}
+
+// LocalSearch improves an edge-set candidate by single-edge additions and
+// removals until no move lowers the social cost by more than eps, or
+// maxIters moves were applied. Disconnected candidates are compared
+// lexicographically by (disconnected pairs, finite cost), so the search
+// escapes them whenever possible. Returns the improved candidate.
+func LocalSearch(g *game.Game, start []graph.Edge, eps float64, maxIters int) Result {
+	n := g.N()
+	present := make(map[[2]int]bool)
+	for _, e := range start {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		present[[2]int{u, v}] = true
+	}
+	edgesOf := func() []graph.Edge {
+		var out []graph.Edge
+		for k := range present {
+			out = append(out, graph.Edge{U: k[0], V: k[1], W: g.Host.Weight(k[0], k[1])})
+		}
+		return out
+	}
+	curInf, curCost := lexSocial(g, edgesOf())
+	for iter := 0; iter < maxIters; iter++ {
+		bestInf, bestCost := curInf, curCost
+		var bestKey [2]int
+		var bestAdd, haveMove bool
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				key := [2]int{u, v}
+				if math.IsInf(g.Host.Weight(u, v), 1) {
+					continue
+				}
+				toggle := func() {
+					if present[key] {
+						delete(present, key)
+					} else {
+						present[key] = true
+					}
+				}
+				toggle()
+				ci, cf := lexSocial(g, edgesOf())
+				toggle()
+				if lexLess(ci, cf, bestInf, bestCost, eps) {
+					bestInf, bestCost = ci, cf
+					bestKey = key
+					bestAdd = !present[key]
+					haveMove = true
+				}
+			}
+		}
+		if !haveMove {
+			break
+		}
+		if bestAdd {
+			present[bestKey] = true
+		} else {
+			delete(present, bestKey)
+		}
+		curInf, curCost = bestInf, bestCost
+	}
+	cost := curCost
+	if curInf > 0 {
+		cost = math.Inf(1)
+	}
+	return Result{Edges: edgesOf(), Cost: cost}
+}
+
+// LowerBound returns a certified lower bound on the social optimum cost:
+// any connected spanning subgraph has edge weight at least MST(H), and
+// every pairwise distance is at least the host's shortest-path distance,
+// so cost(OPT) >= α·MST + Σ_{ordered pairs} d_H(u,v).
+func LowerBound(g *game.Game) float64 {
+	n := g.N()
+	full := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if w := g.Host.Weight(u, v); !math.IsInf(w, 1) {
+				full.AddEdge(u, v, w)
+			}
+		}
+	}
+	_, mstW := full.MST()
+	return g.Alpha*mstW + full.SumDistances()
+}
+
+// BestCandidate evaluates several heuristics (MST, complete graph, local
+// search from both) and returns the cheapest: a practical OPT upper bound
+// for instances beyond exact reach.
+func BestCandidate(g *game.Game, maxIters int) Result {
+	mst := MSTCandidate(g)
+	complete := CompleteCandidate(g)
+	best := mst
+	if complete.Cost < best.Cost {
+		best = complete
+	}
+	ls := LocalSearch(g, best.Edges, g.Eps, maxIters)
+	if ls.Cost < best.Cost {
+		best = ls
+	}
+	return best
+}

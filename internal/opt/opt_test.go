@@ -1,0 +1,214 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gncg/internal/game"
+	"gncg/internal/graph"
+	"gncg/internal/metric"
+)
+
+func randomOneTwoHost(rng *rand.Rand, n int, p float64) *game.Host {
+	var ones [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				ones = append(ones, [2]int{u, v})
+			}
+		}
+	}
+	ot, err := metric.NewOneTwo(n, ones)
+	if err != nil {
+		panic(err)
+	}
+	return game.NewHost(ot)
+}
+
+func randomPointHost(rng *rand.Rand, n int) *game.Host {
+	coords := make([][]float64, n)
+	for i := range coords {
+		coords[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	pts, err := metric.NewPoints(coords, 2)
+	if err != nil {
+		panic(err)
+	}
+	return game.NewHost(pts)
+}
+
+func TestAlgorithm1Structure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(8)
+		h := randomOneTwoHost(rng, n, 0.4)
+		res, err := Algorithm1(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := graph.FromEdges(n, res.Edges)
+		// Contains all 1-edges, no 1-1-2 triangle, diameter <= 2.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if h.Weight(u, v) == 1 && !net.HasEdge(u, v) {
+					t.Fatal("Algorithm1 dropped a 1-edge")
+				}
+			}
+		}
+		for _, e := range res.Edges {
+			if e.W != 2 {
+				continue
+			}
+			for x := 0; x < n; x++ {
+				if x != e.U && x != e.V && h.Weight(e.U, x) == 1 && h.Weight(x, e.V) == 1 {
+					t.Fatal("Algorithm1 kept a 2-edge closed by a 1-1 path")
+				}
+			}
+		}
+		if d := net.Diameter(); d > 2 {
+			t.Fatalf("Algorithm1 network diameter %v > 2", d)
+		}
+	}
+}
+
+func TestAlgorithm1RejectsNonOneTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	if _, err := Algorithm1(randomPointHost(rng, 4)); err == nil {
+		t.Fatal("geometric host accepted by Algorithm1")
+	}
+	// A unit host is a legal (degenerate) 1-2 host: the NCG is a special
+	// case of the 1-2–GNCG, so it must be accepted.
+	if _, err := Algorithm1(game.NewHost(metric.Unit{N: 3})); err != nil {
+		t.Fatalf("unit host rejected: %v", err)
+	}
+}
+
+// TestAlgorithm1IsOptimal: Thm 6 — for α <= 1 Algorithm 1's output equals
+// the exhaustive social optimum.
+func TestAlgorithm1IsOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4) // up to 6: exact search is cheap
+		h := randomOneTwoHost(rng, n, 0.45)
+		alpha := rng.Float64() // (0,1)
+		g := game.New(h, alpha)
+		res, err := Algorithm1(h)
+		if err != nil {
+			return false
+		}
+		algCost := Evaluate(g, res).Cost
+		exact, err := ExactSmall(g)
+		if err != nil {
+			return false
+		}
+		return math.Abs(algCost-exact.Cost) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactSmallPath(t *testing.T) {
+	// Two points far apart plus one in the middle: for moderate alpha the
+	// optimum is the 2-edge path, not the triangle.
+	coords := [][]float64{{0}, {1}, {2}}
+	pts, err := metric.NewPoints(coords, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := game.New(game.NewHost(pts), 10)
+	res, err := ExactSmall(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := graph.FromEdges(3, res.Edges)
+	if net.M() != 2 || net.HasEdge(0, 2) {
+		t.Fatalf("expected path OPT, got %v", res.Edges)
+	}
+	// cost = alpha*2 + distances (1+1+2)*2 = 20 + 8
+	if math.Abs(res.Cost-28) > 1e-9 {
+		t.Fatalf("OPT cost = %v, want 28", res.Cost)
+	}
+}
+
+func TestExactSmallRefusesLargeN(t *testing.T) {
+	g := game.New(game.NewHost(metric.Unit{N: 9}), 1)
+	if _, err := ExactSmall(g); err == nil {
+		t.Fatal("n=9 accepted by exact search")
+	}
+}
+
+// TestExactSmallRespectsLowerBound and candidates: LB <= OPT <= heuristics.
+func TestBoundsBracketExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		g := game.New(randomPointHost(rng, n), 0.2+3*rng.Float64())
+		exact, err := ExactSmall(g)
+		if err != nil {
+			return false
+		}
+		lb := LowerBound(g)
+		if exact.Cost < lb-1e-9 {
+			t.Logf("seed %d: OPT %v below lower bound %v", seed, exact.Cost, lb)
+			return false
+		}
+		for _, cand := range []Result{MSTCandidate(g), CompleteCandidate(g), BestCandidate(g, 100)} {
+			if cand.Cost < exact.Cost-1e-9 {
+				t.Logf("seed %d: candidate %v beats exact %v", seed, cand.Cost, exact.Cost)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalSearchImprovesMST(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := game.New(randomPointHost(rng, 10), 0.5)
+	mst := MSTCandidate(g)
+	ls := LocalSearch(g, mst.Edges, g.Eps, 200)
+	if ls.Cost > mst.Cost+1e-9 {
+		t.Fatalf("local search worsened the candidate: %v -> %v", mst.Cost, ls.Cost)
+	}
+	if math.IsInf(ls.Cost, 1) {
+		t.Fatal("local search returned disconnected candidate")
+	}
+}
+
+func TestLocalSearchFromEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := game.New(randomPointHost(rng, 6), 1)
+	ls := LocalSearch(g, nil, g.Eps, 500)
+	if math.IsInf(ls.Cost, 1) {
+		t.Fatal("local search could not escape the empty network")
+	}
+}
+
+func TestTreeOPTMatchesExactForTreeMetric(t *testing.T) {
+	// On a tree metric with high alpha the tree is the social optimum;
+	// verify against the exhaustive search on a small instance. (Cor. 3
+	// asserts optimality for every alpha; the exhaustive check for a
+	// couple of alphas guards the plumbing.)
+	edges := []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 1, V: 3, W: 0.5}, {U: 3, V: 4, W: 1.5}}
+	tm, err := metric.NewTreeMetric(5, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alpha := range []float64{0.5, 1, 3, 10} {
+		g := game.New(game.NewHost(tm), alpha)
+		tree := Evaluate(g, TreeOPT(tm))
+		exact, err := ExactSmall(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tree.Cost-exact.Cost) > 1e-9 {
+			t.Fatalf("alpha %v: tree cost %v != exact OPT %v", alpha, tree.Cost, exact.Cost)
+		}
+	}
+}

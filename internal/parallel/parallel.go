@@ -1,0 +1,124 @@
+// Package parallel provides small helpers for data-parallel loops.
+//
+// The solvers in this repository are embarrassingly parallel at several
+// granularities (one Dijkstra per source in an all-pairs computation, one
+// exact best-response per agent in a Nash check, one instance per cell of a
+// parameter sweep). These helpers keep that parallelism uniform: bounded
+// worker pools sized by GOMAXPROCS, deterministic output placement by
+// index, and no shared mutable state beyond the caller's own slices.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the degree of parallelism used by default: GOMAXPROCS.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// For runs fn(i) for every i in [0,n) using up to Workers() goroutines.
+// Iterations are handed out dynamically (atomic counter), so uneven work
+// per index balances well. fn must be safe for concurrent invocation on
+// distinct indices.
+func For(n int, fn func(i int)) {
+	ForWorkers(n, Workers(), fn)
+}
+
+// ForWorkers is For with an explicit worker bound.
+func ForWorkers(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map computes out[i] = fn(i) for i in [0,n) in parallel.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Reduce computes fn(i) for every i in [0,n) in parallel and folds the
+// results with combine, starting from zero. combine must be associative
+// and commutative; the fold order is unspecified.
+func Reduce[T any](n int, zero T, fn func(i int) T, combine func(a, b T) T) T {
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return zero
+	}
+	if workers <= 1 {
+		acc := zero
+		for i := 0; i < n; i++ {
+			acc = combine(acc, fn(i))
+		}
+		return acc
+	}
+	partial := make([]T, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			acc := zero
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					partial[w] = acc
+					return
+				}
+				acc = combine(acc, fn(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	acc := zero
+	for _, p := range partial {
+		acc = combine(acc, p)
+	}
+	return acc
+}
+
+// FirstErr runs fn(i) for every i in [0,n) in parallel and returns the
+// error from the smallest index that failed, or nil if all succeeded.
+// All iterations run regardless of failures (no early cancel), which keeps
+// the semantics deterministic.
+func FirstErr(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	For(n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	const n = 1000
+	var hits [n]atomic.Int32
+	For(n, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d hit %d times", i, got)
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, func(int) { called = true })
+	For(-5, func(int) { called = true })
+	if called {
+		t.Error("For called fn for empty range")
+	}
+}
+
+func TestForWorkersSingle(t *testing.T) {
+	order := make([]int, 0, 10)
+	ForWorkers(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker For not sequential: %v", order)
+		}
+	}
+}
+
+func TestMap(t *testing.T) {
+	out := Map(100, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	got := Reduce(1000, 0, func(i int) int { return i }, func(a, b int) int { return a + b })
+	if want := 999 * 1000 / 2; got != want {
+		t.Fatalf("Reduce = %d, want %d", got, want)
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	if got := Reduce(0, 42, func(int) int { return 0 }, func(a, b int) int { return a + b }); got != 42 {
+		t.Fatalf("empty Reduce = %d, want zero value 42", got)
+	}
+}
+
+func TestFirstErrReturnsSmallestIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := FirstErr(100, func(i int) error {
+		switch i {
+		case 30:
+			return errB
+		case 10:
+			return errA
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("FirstErr = %v, want error at smallest failing index", err)
+	}
+	if err := FirstErr(10, func(int) error { return nil }); err != nil {
+		t.Fatalf("FirstErr on success = %v", err)
+	}
+}

@@ -1,0 +1,161 @@
+package poa
+
+import (
+	"fmt"
+	"math"
+
+	"gncg/internal/game"
+	"gncg/internal/parallel"
+)
+
+// Census is an exhaustive equilibrium census of a tiny game: every
+// strategy profile is enumerated and classified. It yields the EXACT
+// Price of Anarchy and Price of Stability of the instance — the paper's
+// conclusion names the PoS analysis as the natural next step, and
+// Cor. 3's footnote (PoS = 1 for the T–GNCG) becomes checkable.
+type Census struct {
+	Profiles int // total strategy profiles enumerated
+	Nash     int // exact Nash equilibria among them
+	// OptCost is the exact social optimum cost (min over all profiles;
+	// coincides with the edge-subset optimum since double purchases are
+	// never beneficial).
+	OptCost float64
+	// BestNECost and WorstNECost are the cheapest and most expensive
+	// Nash equilibrium social costs; +Inf / -Inf if no NE exists.
+	BestNECost  float64
+	WorstNECost float64
+	// BestNE and WorstNE are witnesses (empty profiles if none).
+	BestNE  game.Profile
+	WorstNE game.Profile
+}
+
+// PoA returns the exact Price of Anarchy: worst NE cost over optimum.
+// NaN if the instance has no Nash equilibrium.
+func (c Census) PoA() float64 {
+	if c.Nash == 0 {
+		return math.NaN()
+	}
+	return c.WorstNECost / c.OptCost
+}
+
+// PoS returns the exact Price of Stability: best NE cost over optimum.
+// NaN if the instance has no Nash equilibrium.
+func (c Census) PoS() float64 {
+	if c.Nash == 0 {
+		return math.NaN()
+	}
+	return c.BestNECost / c.OptCost
+}
+
+// maxCensusAgents bounds the exhaustive profile enumeration (the space
+// has 2^(n(n-1)) profiles).
+const maxCensusAgents = 5
+
+// ExhaustiveCensus enumerates every strategy profile of a game with
+// n <= 5 agents, classifies the exact Nash equilibria (a profile is an
+// NE iff no agent's digit can be replaced by a cheaper one — the full
+// strategy space is the deviation space, so this is exact), and returns
+// the instance's exact PoA and PoS.
+func ExhaustiveCensus(g *game.Game) (Census, error) {
+	n := g.N()
+	if n > maxCensusAgents {
+		return Census{}, fmt.Errorf("poa: exhaustive census supports n <= %d, got %d", maxCensusAgents, n)
+	}
+	perAgent := 1 << (n - 1)
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= perAgent
+	}
+
+	type profInfo struct {
+		costs  []float64
+		social float64
+	}
+	infos := parallel.Map(total, func(idx int) profInfo {
+		s := game.NewState(g, decodeProfile(idx, n, perAgent))
+		pi := profInfo{costs: make([]float64, n)}
+		for u := 0; u < n; u++ {
+			pi.costs[u] = s.Cost(u)
+			pi.social += pi.costs[u]
+		}
+		return pi
+	})
+
+	c := Census{
+		Profiles:    total,
+		OptCost:     math.Inf(1),
+		BestNECost:  math.Inf(1),
+		WorstNECost: math.Inf(-1),
+	}
+	isNE := parallel.Map(total, func(idx int) bool {
+		for u := 0; u < n; u++ {
+			cur := infos[idx].costs[u]
+			for alt := 0; alt < perAgent; alt++ {
+				nidx := replaceAgentStrategy(idx, u, alt, n, perAgent)
+				if nidx == idx {
+					continue
+				}
+				if improvesEps(infos[nidx].costs[u], cur, g.Eps) {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	for idx := 0; idx < total; idx++ {
+		if infos[idx].social < c.OptCost {
+			c.OptCost = infos[idx].social
+		}
+		if !isNE[idx] {
+			continue
+		}
+		c.Nash++
+		if infos[idx].social < c.BestNECost {
+			c.BestNECost = infos[idx].social
+			c.BestNE = decodeProfile(idx, n, perAgent)
+		}
+		if infos[idx].social > c.WorstNECost {
+			c.WorstNECost = infos[idx].social
+			c.WorstNE = decodeProfile(idx, n, perAgent)
+		}
+	}
+	return c, nil
+}
+
+func improvesEps(newCost, oldCost, eps float64) bool {
+	if math.IsInf(oldCost, 1) {
+		return !math.IsInf(newCost, 1)
+	}
+	return newCost < oldCost-eps
+}
+
+// decodeProfile expands a packed profile index: agent u's digit (base
+// perAgent) is a bitmask over the other agents in increasing order.
+// Mirrors the encoding in the dynamics package's exhaustive FIP check.
+func decodeProfile(idx, n, perAgent int) game.Profile {
+	p := game.EmptyProfile(n)
+	for u := 0; u < n; u++ {
+		mask := idx % perAgent
+		idx /= perAgent
+		bit := 0
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			if mask&(1<<bit) != 0 {
+				p.Buy(u, v)
+			}
+			bit++
+		}
+	}
+	return p
+}
+
+func replaceAgentStrategy(idx, u, alt, n, perAgent int) int {
+	pow := 1
+	for i := 0; i < u; i++ {
+		pow *= perAgent
+	}
+	digit := (idx / pow) % perAgent
+	return idx + (alt-digit)*pow
+}

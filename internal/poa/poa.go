@@ -1,0 +1,228 @@
+// Package poa measures Price-of-Anarchy quantities: cost ratios between
+// candidate equilibria and candidate optima, sweeps of the paper's
+// lower-bound families over α and size, and empirical PoA estimates from
+// equilibria found by dynamics on random instances. Together these
+// regenerate the PoA column of Table 1 and the quantitative content of
+// Figures 3, 6, 9 and 10.
+package poa
+
+import (
+	"math"
+
+	"gncg/internal/bestresponse"
+	"gncg/internal/constructions"
+	"gncg/internal/dynamics"
+	"gncg/internal/game"
+	"gncg/internal/opt"
+	"gncg/internal/parallel"
+)
+
+// VerificationTier states how strongly an equilibrium candidate was
+// checked.
+type VerificationTier int
+
+const (
+	// TierNone: the candidate was not checked.
+	TierNone VerificationTier = iota
+	// TierGreedy: no single buy/delete/swap improves (necessary for NE).
+	TierGreedy
+	// TierExactNash: no agent has any improving strategy (exact NE).
+	TierExactNash
+)
+
+// String names the tier.
+func (v VerificationTier) String() string {
+	switch v {
+	case TierGreedy:
+		return "GE-checked"
+	case TierExactNash:
+		return "NE-exact"
+	default:
+		return "unchecked"
+	}
+}
+
+// Row is one cell of a lower-bound sweep.
+type Row struct {
+	Name      string
+	Alpha     float64
+	Size      int
+	Ratio     float64
+	Predicted float64
+	Tier      VerificationTier
+	Stable    bool // the candidate passed the check of its tier
+}
+
+// exactNashLimit bounds the instance size for exact NE verification in
+// sweeps: beyond it the greedy tier is used.
+const exactNashLimit = 14
+
+// VerifyLowerBound checks a construction's equilibrium candidate at the
+// strongest affordable tier and returns the sweep row.
+func VerifyLowerBound(lb *constructions.LowerBound, size int) Row {
+	s := game.NewState(lb.Game, lb.Equilibrium.Clone())
+	row := Row{
+		Name:      lb.Name,
+		Alpha:     lb.Game.Alpha,
+		Size:      size,
+		Ratio:     lb.Ratio(),
+		Predicted: lb.Predicted,
+	}
+	if lb.Game.N() <= exactNashLimit {
+		row.Tier = TierExactNash
+		row.Stable = bestresponse.IsNash(s)
+	} else {
+		row.Tier = TierGreedy
+		row.Stable = s.IsGreedyEquilibrium()
+	}
+	return row
+}
+
+// SweepThm15 regenerates the Fig. 6 series: the T–GNCG star family across
+// sizes for a fixed α.
+func SweepThm15(alpha float64, sizes []int) []Row {
+	return parallel.Map(len(sizes), func(i int) Row {
+		lb, err := constructions.Thm15Star(sizes[i], alpha)
+		if err != nil {
+			panic(err)
+		}
+		return VerifyLowerBound(lb, sizes[i])
+	})
+}
+
+// SweepThm19 regenerates the Fig. 10 series: the ℓ1 cross-polytope family
+// across dimensions for a fixed α.
+func SweepThm19(alpha float64, dims []int) []Row {
+	return parallel.Map(len(dims), func(i int) Row {
+		lb, err := constructions.Thm19CrossPolytope(dims[i], alpha)
+		if err != nil {
+			panic(err)
+		}
+		return VerifyLowerBound(lb, dims[i])
+	})
+}
+
+// SweepThm8AlphaOne regenerates the Fig. 3 series for α = 1 across N.
+func SweepThm8AlphaOne(sizes []int) []Row {
+	return parallel.Map(len(sizes), func(i int) Row {
+		lb, err := constructions.Thm8AlphaOne(sizes[i])
+		if err != nil {
+			panic(err)
+		}
+		return VerifyLowerBound(lb, sizes[i])
+	})
+}
+
+// SweepThm8HalfToOne regenerates the Fig. 3 series for 1/2 <= α < 1.
+func SweepThm8HalfToOne(alpha float64, sizes []int) []Row {
+	return parallel.Map(len(sizes), func(i int) Row {
+		lb, err := constructions.Thm8HalfToOne(sizes[i], alpha)
+		if err != nil {
+			panic(err)
+		}
+		return VerifyLowerBound(lb, sizes[i])
+	})
+}
+
+// SweepLemma8 regenerates the Fig. 9 series across point counts.
+func SweepLemma8(alpha float64, sizes []int) []Row {
+	return parallel.Map(len(sizes), func(i int) Row {
+		lb, err := constructions.Lemma8Path(sizes[i], alpha)
+		if err != nil {
+			panic(err)
+		}
+		return VerifyLowerBound(lb, sizes[i])
+	})
+}
+
+// Empirical is the result of estimating the PoA on one random instance:
+// the worst equilibrium found by dynamics from several starts, against
+// the best optimum candidate available.
+type Empirical struct {
+	WorstRatio  float64 // max over found equilibria of cost/OPT-candidate
+	Found       int     // equilibria found (dynamics runs that converged)
+	Diameter    float64 // diameter of the worst equilibrium network
+	UpperBound  float64 // the paper's bound this instance must respect
+	OptimumCost float64
+}
+
+// EmpiricalPoA runs dynamics from `starts` seeded random profiles plus
+// the empty profile, collects converged (greedy-)equilibria, and reports
+// the worst cost ratio against the best available optimum candidate
+// (exhaustive for n <= 7, heuristic otherwise). upperBound is the paper
+// bound recorded alongside for the harness to compare against.
+func EmpiricalPoA(g *game.Game, starts int, seed int64, upperBound float64) Empirical {
+	optCost := bestOptimum(g)
+	type run struct {
+		cost float64
+		diam float64
+		ok   bool
+	}
+	runs := parallel.Map(starts+1, func(i int) run {
+		var p game.Profile
+		if i == 0 {
+			p = game.EmptyProfile(g.N())
+		} else {
+			p = randomProfile(seed+int64(i)*2654435761, g.N(), 0.3)
+		}
+		s := game.NewState(g, p)
+		res := dynamics.Run(s, dynamics.GreedyMover, dynamics.RoundRobin{}, 20000)
+		if res.Outcome != dynamics.Converged || !s.Connected() {
+			return run{}
+		}
+		return run{cost: s.SocialCost(), diam: s.Network().Diameter(), ok: true}
+	})
+	out := Empirical{UpperBound: upperBound, OptimumCost: optCost}
+	for _, r := range runs {
+		if !r.ok {
+			continue
+		}
+		out.Found++
+		if ratio := r.cost / optCost; ratio > out.WorstRatio {
+			out.WorstRatio = ratio
+			out.Diameter = r.diam
+		}
+	}
+	return out
+}
+
+func bestOptimum(g *game.Game) float64 {
+	if g.N() <= 7 {
+		if res, err := opt.ExactSmall(g); err == nil {
+			return res.Cost
+		}
+	}
+	return opt.BestCandidate(g, 400).Cost
+}
+
+func randomProfile(seed int64, n int, p float64) game.Profile {
+	// Cheap deterministic PRNG (splitmix-style) to avoid importing
+	// math/rand here; quality is irrelevant for start diversity.
+	state := uint64(seed)
+	next := func() float64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z>>11) / float64(1<<53)
+	}
+	prof := game.EmptyProfile(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && next() < p {
+				prof.Buy(u, v)
+			}
+		}
+	}
+	return prof
+}
+
+// RespectsBound reports whether an empirical measurement stays within the
+// paper's upper bound, with slack for float noise.
+func (e Empirical) RespectsBound() bool {
+	if e.Found == 0 {
+		return true // nothing measured, nothing violated
+	}
+	return e.WorstRatio <= e.UpperBound+1e-6 || math.IsInf(e.UpperBound, 1)
+}

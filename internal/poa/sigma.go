@@ -1,0 +1,69 @@
+package poa
+
+import (
+	"math"
+
+	"gncg/internal/game"
+	"gncg/internal/graph"
+)
+
+// PairSigma is the per-pair contribution ratio σ at the heart of the
+// paper's upper-bound technique (Thms 1 and 20): for a node pair (u,v),
+//
+//	σ(u,v) = (α·w(u,v)·x + 2·d_NE(u,v)) / (α·w(u,v)·x* + 2·d_OPT(u,v)),
+//
+// where x (resp. x*) indicates whether the equilibrium (resp. optimum)
+// contains the edge (u,v). Summing numerators over pairs gives the NE
+// social cost and summing denominators the OPT cost, so the maximum σ
+// bounds the PoA: Thm 1 shows max σ <= (α+2)/2 on metric hosts, and the
+// Thm 20 triangle shows σ can reach ((α+2)/2)² on non-metric hosts even
+// though the overall ratio stays (α+2)/2.
+type PairSigma struct {
+	U, V  int
+	Sigma float64
+}
+
+// SigmaMax computes the maximum per-pair σ of an equilibrium state
+// against an optimum candidate edge set, returning the worst pair.
+// Pairs with zero denominator and zero numerator are skipped; a zero
+// denominator with positive numerator yields +Inf.
+func SigmaMax(s *game.State, optEdges []graph.Edge) PairSigma {
+	g := s.G
+	n := g.N()
+	optNet := graph.New(n)
+	for _, e := range optEdges {
+		if !optNet.HasEdge(e.U, e.V) {
+			optNet.AddEdge(e.U, e.V, g.Host.Weight(e.U, e.V))
+		}
+	}
+	dNE := s.Network().APSP()
+	dOPT := optNet.APSP()
+	worst := PairSigma{Sigma: math.Inf(-1)}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			w := g.Host.Weight(u, v)
+			x, xStar := 0.0, 0.0
+			if s.P.HasEdge(u, v) {
+				x = 1
+			}
+			if optNet.HasEdge(u, v) {
+				xStar = 1
+			}
+			num := g.Alpha*w*x + 2*dNE[u][v]
+			den := g.Alpha*w*xStar + 2*dOPT[u][v]
+			var sigma float64
+			switch {
+			case den == 0 && num == 0:
+				continue
+			case den == 0:
+				sigma = math.Inf(1)
+			default:
+				sigma = num / den
+			}
+			if sigma > worst.Sigma {
+				worst = PairSigma{U: u, V: v, Sigma: sigma}
+			}
+		}
+	}
+	return worst
+}

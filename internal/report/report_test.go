@@ -1,0 +1,80 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1.23456)
+	tb.AddRow("long-name-entry", 42)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "1.2346") {
+		t.Fatalf("float not formatted: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: header and rows share the first column width.
+	if !strings.HasPrefix(lines[3], "alpha  ") && !strings.HasPrefix(lines[3], "alpha ") {
+		t.Fatalf("row misaligned: %q", lines[3])
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow(1)
+	var sb strings.Builder
+	tb.Render(&sb)
+	if strings.Contains(sb.String(), "==") {
+		t.Fatal("untitled table rendered a title")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{math.Inf(1), "inf"},
+		{math.Inf(-1), "-inf"},
+		{math.NaN(), "nan"},
+		{3.0, "3"},
+		{2.5, "2.5000"},
+		{float32(1.5), "1.5000"},
+		{"text", "text"},
+		{7, "7"},
+		{true, "true"},
+	}
+	for _, c := range cases {
+		if got := Format(c.in); got != c.want {
+			t.Errorf("Format(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("ragged", "a", "b")
+	tb.AddRow(1)          // short row
+	tb.AddRow(1, 2, 3, 4) // long row must not panic
+	var sb strings.Builder
+	tb.Render(&sb)
+	if !strings.Contains(sb.String(), "3  4") {
+		t.Fatalf("extra cells dropped: %q", sb.String())
+	}
+}
+
+func TestCheck(t *testing.T) {
+	if Check(true) != "PASS" || Check(false) != "FAIL" {
+		t.Fatal("Check labels wrong")
+	}
+}

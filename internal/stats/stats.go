@@ -1,0 +1,92 @@
+// Package stats provides the summary statistics the experiment sweeps
+// aggregate with: mean, standard deviation, extrema and quantiles over
+// float64 samples, with NaN/Inf-aware handling (infinite samples are
+// counted separately, since disconnected-network costs are +Inf by
+// design).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 values.
+type Summary struct {
+	N        int // finite samples
+	Infinite int // +Inf/-Inf samples (excluded from moments)
+	Mean     float64
+	Std      float64
+	Min      float64
+	Max      float64
+}
+
+// Summarize computes a Summary. NaN samples are ignored entirely.
+// Moments are computed over finite samples only; with no finite samples
+// the moment fields are NaN.
+func Summarize(xs []float64) Summary {
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		switch {
+		case math.IsNaN(x):
+		case math.IsInf(x, 0):
+			s.Infinite++
+		default:
+			s.N++
+			sum += x
+			if x < s.Min {
+				s.Min = x
+			}
+			if x > s.Max {
+				s.Max = x
+			}
+		}
+	}
+	if s.N == 0 {
+		s.Mean, s.Std = math.NaN(), math.NaN()
+		s.Min, s.Max = math.NaN(), math.NaN()
+		return s
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the finite samples by
+// linear interpolation; NaN if there are none.
+func Quantile(xs []float64, q float64) float64 {
+	var fin []float64
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			fin = append(fin, x)
+		}
+	}
+	if len(fin) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	sort.Float64s(fin)
+	if len(fin) == 1 {
+		return fin[0]
+	}
+	pos := q * float64(len(fin)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return fin[lo]
+	}
+	frac := pos - float64(lo)
+	return fin[lo]*(1-frac) + fin[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std %v, want %v", s.Std, want)
+	}
+}
+
+func TestSummarizeInfAndNaN(t *testing.T) {
+	s := Summarize([]float64{1, math.Inf(1), math.NaN(), 3})
+	if s.N != 2 || s.Infinite != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Mean != 2 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || !math.IsNaN(s.Mean) || !math.IsNaN(s.Min) {
+		t.Fatalf("empty summary %+v", s)
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.Mean != 7 {
+		t.Fatalf("singleton summary %+v", one)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Median(xs); got != 2.5 {
+		t.Fatalf("median = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) || !math.IsNaN(Quantile(xs, 2)) {
+		t.Fatal("invalid quantile input must be NaN")
+	}
+}
+
+// TestQuantileMonotone: quantiles are monotone in q and bracketed by
+// min/max.
+func TestQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		s := Summarize(xs)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 || v < s.Min-1e-9 || v > s.Max+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,46 @@
+package gncg
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// WriteDOT renders the state's created network in Graphviz DOT format:
+// one node per agent, one arc per purchase pointing from owner to bought
+// node (doubly-owned edges render as two arcs), labelled with the host
+// weight. Pipe through `dot -Tsvg` to visualize equilibria.
+func WriteDOT(w io.Writer, s *State, name string) error {
+	if name == "" {
+		name = "gncg"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n", name); err != nil {
+		return err
+	}
+	n := s.G.N()
+	for u := 0; u < n; u++ {
+		if _, err := fmt.Fprintf(w, "  %d [shape=circle];\n", u); err != nil {
+			return err
+		}
+	}
+	edges := s.P.OwnedEdges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Owner != edges[j].Owner {
+			return edges[i].Owner < edges[j].Owner
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		weight := s.G.Host.Weight(e.Owner, e.To)
+		label := fmt.Sprintf("%.3g", weight)
+		if math.IsInf(weight, 1) {
+			label = "inf"
+		}
+		if _, err := fmt.Fprintf(w, "  %d -> %d [label=%q];\n", e.Owner, e.To, label); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

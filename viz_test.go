@@ -1,0 +1,56 @@
+package gncg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	host, err := HostFromPoints([][]float64{{0}, {1}, {3}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGame(host, 1)
+	p := EmptyProfile(3)
+	p.Buy(0, 1)
+	p.Buy(2, 1)
+	s := NewState(g, p)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, s, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`digraph "test"`,
+		`0 -> 1 [label="1"]`,
+		`2 -> 1 [label="2"]`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "1 -> 0") {
+		t.Fatal("ownership direction reversed")
+	}
+}
+
+func TestWriteDOTDefaultNameAndInf(t *testing.T) {
+	host, err := HostFromOneInf(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGame(host, 1)
+	p := EmptyProfile(2)
+	p.Buy(0, 1) // unbuyable pair: weight inf
+	var sb strings.Builder
+	if err := WriteDOT(&sb, NewState(g, p), ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `digraph "gncg"`) {
+		t.Fatal("default name not applied")
+	}
+	if !strings.Contains(sb.String(), `label="inf"`) {
+		t.Fatal("inf weight not labelled")
+	}
+}
