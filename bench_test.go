@@ -417,6 +417,72 @@ func BenchmarkConjecture1FIP(b *testing.B) {
 	reportVerified(b, ok)
 }
 
+// ---- distance-cache benchmarks ----
+//
+// Each pair runs the same workload with the state's distance cache on
+// (the default) and off (the pre-cache baseline): repeated cost queries,
+// greedy move dynamics, and exact Nash verification.
+
+// benchmarkCostQueries is the harness evaluation pattern: social cost
+// plus every agent's cost against one unchanged state.
+func benchmarkCostQueries(b *testing.B, cached bool) {
+	n := 80
+	g := game.New(game.NewHost(gen.Points(9, n, 2, 100, 2)), 4)
+	s := game.NewState(g, game.StarProfile(n, 0))
+	s.SetDistCaching(cached)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.SocialCost()
+		for u := 0; u < n; u++ {
+			_ = s.Cost(u)
+		}
+	}
+}
+
+func BenchmarkCostQueriesCached(b *testing.B)   { benchmarkCostQueries(b, true) }
+func BenchmarkCostQueriesUncached(b *testing.B) { benchmarkCostQueries(b, false) }
+
+// benchmarkGreedyDynamics runs greedy move dynamics from a star seed —
+// the BestSingleMove scan re-queries the mover's current cost and
+// speculatively evaluates candidates, which the cache's snapshot/restore
+// turns into hits for untouched sources.
+func benchmarkGreedyDynamics(b *testing.B, cached bool) {
+	n := 24
+	g := game.New(game.NewHost(gen.Points(4, n, 2, 10, 2)), 1.5)
+	p := game.StarProfile(n, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := game.NewState(g, p.Clone())
+		s.SetDistCaching(cached)
+		dynamics.Run(s, dynamics.GreedyMover, dynamics.RoundRobin{}, 200)
+		_ = s.SocialCost()
+	}
+}
+
+func BenchmarkGreedyDynamicsCached(b *testing.B)   { benchmarkGreedyDynamics(b, true) }
+func BenchmarkGreedyDynamicsUncached(b *testing.B) { benchmarkGreedyDynamics(b, false) }
+
+// benchmarkNashVerify measures the experiments' equilibrium-check
+// pattern: exact Nash verification, the approximation factor, and the
+// social cost of the same state (the PoA numerator). The verification
+// passes consume the same per-source rows and G∖u all-pairs matrices,
+// which the cache computes once per network version.
+func benchmarkNashVerify(b *testing.B, cached bool) {
+	n := 14
+	g := game.New(game.NewHost(gen.Points(4, n, 2, 10, 2)), 1.5)
+	s := game.NewState(g, game.StarProfile(n, 0))
+	s.SetDistCaching(cached)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bestresponse.IsNash(s)
+		_ = bestresponse.NashApproxFactor(s)
+		_ = s.SocialCost()
+	}
+}
+
+func BenchmarkNashVerifyCached(b *testing.B)   { benchmarkNashVerify(b, true) }
+func BenchmarkNashVerifyUncached(b *testing.B) { benchmarkNashVerify(b, false) }
+
 // ---- solver micro-benchmarks ----
 
 // BenchmarkDijkstra measures single-source shortest paths on a 200-node

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"gncg/internal/sweep"
+)
+
+// cheapSelection is a fast but representative slice of the registry: a
+// scalar experiment, a seeds ladder, and an alpha×n grid.
+const cheapSelection = "fig1,thm20,fig9"
+
+func selectCheap(t *testing.T) []sweep.Experiment {
+	t.Helper()
+	ensureRegistered()
+	exps, err := sweep.Select(cheapSelection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 3 {
+		t.Fatalf("selected %d experiments, want 3", len(exps))
+	}
+	return exps
+}
+
+// TestRegistryComplete: every experiment of the paper's reproduction is
+// registered and selectable, and tag selection works on the real
+// registry.
+func TestRegistryComplete(t *testing.T) {
+	ensureRegistered()
+	want := []string{
+		"fig1", "thm1", "lemmas", "approx", "fig2", "thm5", "fig3", "thm9",
+		"thm10", "thm11", "thm12", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "thm18", "fig10", "thm20", "conj1", "ncg", "oneinf",
+		"empirical", "pos", "table1",
+	}
+	if got := len(sweep.All()); got != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", got, len(want))
+	}
+	for _, name := range want {
+		if _, ok := sweep.Lookup(name); !ok {
+			t.Errorf("experiment %q not registered", name)
+		}
+	}
+	poaExps, err := sweep.Select("poa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poaExps) < 5 {
+		t.Fatalf("tag 'poa' selects only %d experiments", len(poaExps))
+	}
+}
+
+// TestExperimentsShardDeterminism runs real (cheap) experiments sharded
+// and unsharded and requires byte-identical merged JSON — the engine
+// contract exercised end-to-end through actual paper reproductions.
+func TestExperimentsShardDeterminism(t *testing.T) {
+	exps := selectCheap(t)
+	ref, err := sweep.Run(exps, sweep.Config{Quick: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	var refJSON bytes.Buffer
+	if err := ref.EncodeJSON(&refJSON); err != nil {
+		t.Fatal(err)
+	}
+	var parts []*sweep.ResultSet
+	for shard := 0; shard < 2; shard++ {
+		rs, err := sweep.Run(exps, sweep.Config{Quick: true, Shards: 2, Shard: shard})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, rs)
+	}
+	var merged bytes.Buffer
+	if err := sweep.Merge(parts...).EncodeJSON(&merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged.String() != refJSON.String() {
+		t.Fatal("merged 2-shard JSON differs from unsharded run")
+	}
+}
+
+// TestExperimentRecordsSane spot-checks the content of a converted
+// experiment: thm20's closed-form PASS verdicts must survive the sweep
+// refactor.
+func TestExperimentRecordsSane(t *testing.T) {
+	ensureRegistered()
+	e, ok := sweep.Lookup("thm20")
+	if !ok {
+		t.Fatal("thm20 missing")
+	}
+	rs, err := sweep.Run([]sweep.Experiment{e}, sweep.Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Cells) != 4 {
+		t.Fatalf("thm20 has %d cells, want 4", len(rs.Cells))
+	}
+	for _, c := range rs.Cells {
+		if len(c.Records) != 1 {
+			t.Fatalf("cell %d has %d records", c.Cell.Index, len(c.Records))
+		}
+		for _, key := range []string{"ne_exact", "opt_exact"} {
+			v, ok := c.Records[0].Get(key)
+			if !ok || v != "PASS" {
+				t.Fatalf("cell alpha=%v: %s = %v, want PASS", c.Cell.Alpha, key, v)
+			}
+		}
+	}
+}

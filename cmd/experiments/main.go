@@ -1,107 +1,142 @@
 // Command experiments regenerates the quantitative content of every table
-// and figure in "Geometric Network Creation Games" (SPAA 2019): the
-// results matrix (Table 1), the model hierarchy (Fig. 1), the hardness
-// gadgets (Figs. 2, 4, 7), the PoA lower-bound families (Figs. 3, 6, 9,
-// 10 and Thms 8, 15, 18, 19, 20), the dynamics non-convergence witnesses
-// (Figs. 5, 8), and the structural lemmas (Lemmas 1-2, Thms 2-3, Cor. 2).
+// and figure in "Geometric Network Creation Games" (SPAA 2019) through the
+// sharded sweep engine (internal/sweep): the results matrix (Table 1), the
+// model hierarchy (Fig. 1), the hardness gadgets (Figs. 2, 4, 7), the PoA
+// lower-bound families (Figs. 3, 6, 9, 10 and Thms 8, 15, 18, 19, 20), the
+// dynamics non-convergence witnesses (Figs. 5, 8), and the structural
+// lemmas (Lemmas 1-2, Thms 2-3, Cor. 2).
 //
 // Usage:
 //
-//	experiments            # run everything
-//	experiments fig6 thm18 # run selected experiments
-//	experiments -list      # list experiment ids
-//	experiments -quick     # smaller size ladders (CI-friendly)
+//	experiments                        # run everything, print tables
+//	experiments -run fig6,thm18        # run selected experiments by name
+//	experiments -run poa               # ...or by tag
+//	experiments -list                  # list experiment ids, tags, cell counts
+//	experiments -quick                 # smaller size ladders (CI-friendly)
+//	experiments -out results.json      # deterministic JSON results
+//	experiments -csv results.csv       # long-format CSV results
+//	experiments -shards 8 -shard 0     # run shard 0 of 8 (merge = concat JSON cells)
+//	experiments -workers 4             # bound cell-level parallelism
+//
+// Sharded runs of the same selection are deterministic: the merged output
+// of all K shards is byte-identical to an unsharded run, for any K and
+// any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
+	"strings"
+	"sync"
+
+	"gncg/internal/sweep"
 )
 
-type experiment struct {
-	id    string
-	title string
-	run   func(cfg config)
-}
+// registerOnce guards the global registry: main registers exactly once,
+// and tests can call ensureRegistered freely.
+var registerOnce sync.Once
 
-type config struct {
-	quick bool
-}
+func ensureRegistered() { registerOnce.Do(registerAll) }
 
 func main() {
-	list := flag.Bool("list", false, "list experiment ids and exit")
+	list := flag.Bool("list", false, "list experiment ids, tags and cell counts, then exit")
 	quick := flag.Bool("quick", false, "smaller size ladders")
+	run := flag.String("run", "", "comma-separated experiment names and/or tags (default: all)")
+	shards := flag.Int("shards", 1, "total number of shards the sweep is partitioned into")
+	shard := flag.Int("shard", 0, "this process's shard index in [0, shards)")
+	workers := flag.Int("workers", 0, "worker goroutines per shard (0 = GOMAXPROCS)")
+	outPath := flag.String("out", "", "write deterministic JSON results to this file ('-' = stdout)")
+	csvPath := flag.String("csv", "", "write long-format CSV results to this file ('-' = stdout)")
+	tables := flag.Bool("tables", true, "render result tables to stdout")
+	progress := flag.Bool("progress", false, "report per-cell progress on stderr")
 	flag.Parse()
 
-	exps := registry()
+	ensureRegistered()
+
 	if *list {
-		for _, e := range exps {
-			fmt.Printf("%-8s %s\n", e.id, e.title)
+		for _, e := range sweep.All() {
+			fmt.Printf("%-10s %-28s cells=%-3d %s\n",
+				e.Name, "["+strings.Join(e.Tags, ",")+"]", len(e.Cells(*quick)), e.Title)
 		}
+		fmt.Printf("\ntags: %s\n", strings.Join(sweep.Tags(), ", "))
 		return
 	}
-	cfg := config{quick: *quick}
-	selected := flag.Args()
-	if len(selected) == 0 {
-		for _, e := range exps {
-			runOne(e, cfg)
+
+	// Positional arguments are accepted as extra selectors, preserving the
+	// old `experiments fig6 thm18` invocation style.
+	spec := *run
+	if args := flag.Args(); len(args) > 0 {
+		if spec != "" {
+			spec += ","
 		}
-		return
+		spec += strings.Join(args, ",")
 	}
-	byID := map[string]experiment{}
-	for _, e := range exps {
-		byID[e.id] = e
-	}
-	var unknown []string
-	for _, id := range selected {
-		if _, ok := byID[id]; !ok {
-			unknown = append(unknown, id)
-		}
-	}
-	if len(unknown) > 0 {
-		sort.Strings(unknown)
-		fmt.Fprintf(os.Stderr, "unknown experiment ids: %v (use -list)\n", unknown)
+	exps, err := sweep.Select(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v (use -list)\n", err)
 		os.Exit(2)
 	}
-	for _, id := range selected {
-		runOne(byID[id], cfg)
+
+	if *outPath == "-" && *csvPath == "-" {
+		fmt.Fprintln(os.Stderr, "-out - and -csv - cannot share stdout")
+		os.Exit(2)
+	}
+	// Machine-readable output on stdout must not be interleaved with the
+	// text tables; drop the tables unless the user explicitly forced them.
+	if *outPath == "-" || *csvPath == "-" {
+		explicit := false
+		flag.Visit(func(f *flag.Flag) { explicit = explicit || f.Name == "tables" })
+		if !explicit {
+			*tables = false
+		}
+	}
+
+	cfg := sweep.Config{
+		Quick: *quick, Workers: *workers,
+		Shards: *shards, Shard: *shard,
+	}
+	if *progress {
+		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	rs, err := sweep.Run(exps, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *tables {
+		sweep.RenderText(os.Stdout, rs)
+	}
+	if err := writeOut(*outPath, rs.EncodeJSON); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := writeOut(*csvPath, rs.EncodeCSV); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := rs.FirstErr(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
-func runOne(e experiment, cfg config) {
-	fmt.Printf("\n######## %s — %s ########\n", e.id, e.title)
-	e.run(cfg)
-}
-
-func registry() []experiment {
-	return []experiment{
-		{"fig1", "Fig. 1: model hierarchy classification", runFig1},
-		{"thm1", "Thm 1: PoA <= (alpha+2)/2 upper-bound sanity (M-GNCG)", runThm1},
-		{"lemmas", "Lemmas 1-2: AE and OPT spanner factors", runLemmas},
-		{"approx", "Thm 2 + Thm 3 + Cor. 2: approximate equilibria", runApprox},
-		{"fig2", "Fig. 2 + Thm 4: Vertex Cover -> NE-decision gadget", runFig2},
-		{"thm5", "Thm 5 + 6: 1-2 NE existence via 3/2-spanners; Algorithm 1", runThm5},
-		{"fig3", "Fig. 3 + Thm 8: 1-2 PoA lower bounds (3/2 and 3/(alpha+2))", runFig3},
-		{"thm9", "Thm 9: PoA = 1 for alpha < 1/2 (1-2)", runThm9},
-		{"thm10", "Thm 10: stars are NE for alpha >= 3 (1-2)", runThm10},
-		{"thm11", "Thm 11: PoA = O(sqrt(alpha)) diameter sweep (1-2)", runThm11},
-		{"thm12", "Thm 12: NE on tree metrics are trees", runThm12},
-		{"fig4", "Fig. 4 + Thm 13: Set Cover -> best response (T-GNCG)", runFig4},
-		{"fig5", "Fig. 5 + Thm 14: improving-move cycles on tree metrics", runFig5},
-		{"fig6", "Fig. 6 + Thm 15: T-GNCG PoA -> (alpha+2)/2", runFig6},
-		{"fig7", "Fig. 7 + Thm 16: Set Cover -> best response (Rd-GNCG)", runFig7},
-		{"fig8", "Fig. 8 + Thm 17: improving-move cycle on the Fig 8 points", runFig8},
-		{"fig9", "Fig. 9 + Lemma 8: geometric path vs star, PoA > 1", runFig9},
-		{"thm18", "Thm 18: four-point closed-form lower bound", runThm18},
-		{"fig10", "Fig. 10 + Thm 19: l1 cross-polytope, PoA -> (alpha+2)/2", runFig10},
-		{"thm20", "Thm 20: non-metric triangle, sigma = ((alpha+2)/2)^2", runThm20},
-		{"conj1", "Conjecture 1: improving-move cycles under p-norms, p >= 2", runConj1},
-		{"ncg", "NCG baseline row of Table 1 (unit weights)", runNCG},
-		{"oneinf", "1-inf-GNCG row: dynamics on {1,inf} hosts", runOneInf},
-		{"empirical", "Simulation: empirical PoA distribution on random hosts", runEmpirical},
-		{"pos", "Extension: exact PoA/PoS census on tiny instances", runPoS},
-		{"table1", "Table 1: results matrix regenerated", runTable1},
+func writeOut(path string, encode func(w io.Writer) error) error {
+	if path == "" {
+		return nil
 	}
+	if path == "-" {
+		return encode(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,3 @@
+module gncg
+
+go 1.24

@@ -1,0 +1,170 @@
+package game
+
+import "sync"
+
+// distCache memoizes shortest-path computations on the created network
+// G(s): per-source Dijkstra rows (backing DistCost/Cost/SocialCost) and
+// per-removed-vertex APSP matrices (backing the best-response reduction's
+// G∖u distances). Entries are stamped with the network version they were
+// computed against; any real edge change bumps the version, implicitly
+// invalidating every entry without clearing storage.
+//
+// Version stamps come from a monotone sequence that is never reused, which
+// makes speculative evaluation cheap to undo: CostAfter snapshots the
+// version, mutates, evaluates, reverts the mutation and then re-tags the
+// pre-speculation entries with a fresh stamp (restore). Rows computed
+// against the speculative network keep their dead stamp and can never be
+// mistaken for current again.
+//
+// The cache is safe for concurrent read-side use (parallel cost queries on
+// distinct sources, as in IsNash and TotalDistCost); mutation of the state
+// itself remains single-threaded, as documented on State.
+type distCache struct {
+	mu       sync.Mutex
+	seq      uint64 // stamp supply; strictly increasing, never reused
+	version  uint64 // stamp of the current network
+	rows     [][]float64
+	rowVer   []uint64
+	avoid    [][][]float64 // avoid[u]: APSP of G(s) with vertex u removed
+	avoidVer []uint64
+	off      bool
+}
+
+// avoidCacheMaxN bounds the vertex count for which G∖u matrices are
+// cached: each entry is n² floats and up to n of them can be live, so the
+// worst case is n³ — fine for the exact-verification tier (IsNash & co.
+// are exponential anyway), wasteful beyond it.
+const avoidCacheMaxN = 128
+
+func newDistCache(n int, off bool) *distCache {
+	return &distCache{
+		rows:     make([][]float64, n),
+		rowVer:   make([]uint64, n),
+		avoid:    make([][][]float64, n),
+		avoidVer: make([]uint64, n),
+		// version starts at seq = 0; rowVer entries are also 0, so rows
+		// are nil-checked before the stamp comparison.
+		off: off,
+	}
+}
+
+// bump marks the network as changed: all cached entries become stale.
+func (c *distCache) bump() {
+	c.mu.Lock()
+	c.seq++
+	c.version = c.seq
+	c.mu.Unlock()
+}
+
+// snapshot returns the current version for a later restore.
+func (c *distCache) snapshot() uint64 {
+	c.mu.Lock()
+	v := c.version
+	c.mu.Unlock()
+	return v
+}
+
+// restore declares the network identical to what it was at snapshot time
+// (the caller has exactly undone its speculative mutation). Entries
+// computed at the snapshot version are re-tagged with a fresh stamp and
+// become valid again; entries computed during the speculation keep a dead
+// stamp forever.
+func (c *distCache) restore(snap uint64) {
+	c.mu.Lock()
+	c.seq++
+	nv := c.seq
+	for i, rv := range c.rowVer {
+		if c.rows[i] != nil && rv == snap {
+			c.rowVer[i] = nv
+		}
+	}
+	for i, av := range c.avoidVer {
+		if c.avoid[i] != nil && av == snap {
+			c.avoidVer[i] = nv
+		}
+	}
+	c.version = nv
+	c.mu.Unlock()
+}
+
+// Dist returns shortest-path distances from src in G(s), memoized until
+// the network next changes. Callers must not mutate the returned slice.
+func (s *State) Dist(src int) []float64 {
+	c := s.cache
+	if c == nil {
+		return s.net.Dijkstra(src)
+	}
+	c.mu.Lock()
+	if c.off {
+		c.mu.Unlock()
+		return s.net.Dijkstra(src)
+	}
+	if c.rows[src] != nil && c.rowVer[src] == c.version {
+		row := c.rows[src]
+		c.mu.Unlock()
+		return row
+	}
+	ver := c.version
+	c.mu.Unlock()
+	row := s.net.Dijkstra(src)
+	c.mu.Lock()
+	// Only publish if the network did not change while we computed; a
+	// concurrent reader may have published the same row already, which is
+	// harmless (identical content).
+	if c.version == ver {
+		c.rows[src] = row
+		c.rowVer[src] = ver
+	}
+	c.mu.Unlock()
+	return row
+}
+
+// APSPAvoiding returns all-pairs shortest paths in G(s) with vertex
+// `avoid` (and its incident edges) removed — the best-response
+// reduction's distance input — memoized until the network next changes.
+// Callers must not mutate the returned matrix.
+func (s *State) APSPAvoiding(avoid int) [][]float64 {
+	c := s.cache
+	if c == nil || s.G.N() > avoidCacheMaxN {
+		return s.net.APSPAvoiding(avoid)
+	}
+	c.mu.Lock()
+	if c.off {
+		c.mu.Unlock()
+		return s.net.APSPAvoiding(avoid)
+	}
+	if c.avoid[avoid] != nil && c.avoidVer[avoid] == c.version {
+		m := c.avoid[avoid]
+		c.mu.Unlock()
+		return m
+	}
+	ver := c.version
+	c.mu.Unlock()
+	m := s.net.APSPAvoiding(avoid)
+	c.mu.Lock()
+	if c.version == ver {
+		c.avoid[avoid] = m
+		c.avoidVer[avoid] = ver
+	}
+	c.mu.Unlock()
+	return m
+}
+
+// SetDistCaching toggles distance memoization on the state (on by
+// default). Turning it off makes every cost query recompute from scratch
+// — the uncached baseline used by benchmarks and correctness tests.
+// Version stamping continues while the toggle is off, so re-enabling is
+// always safe: entries that predate any interleaved mutation carry a dead
+// stamp and never revalidate.
+func (s *State) SetDistCaching(on bool) {
+	s.cache.mu.Lock()
+	s.cache.off = !on
+	s.cache.mu.Unlock()
+}
+
+// DistCachingEnabled reports whether distance memoization is on.
+func (s *State) DistCachingEnabled() bool {
+	s.cache.mu.Lock()
+	defer s.cache.mu.Unlock()
+	return !s.cache.off
+}

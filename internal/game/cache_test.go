@@ -1,0 +1,156 @@
+package game
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gncg/internal/bitset"
+	"gncg/internal/metric"
+	"gncg/internal/parallel"
+)
+
+// randCacheHost builds a small random metric host (2D points under the
+// 2-norm) without importing internal/gen (which depends on this package).
+func randCacheHost(rng *rand.Rand, n int) *Host {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	sp, err := metric.NewPoints(pts, 2)
+	if err != nil {
+		panic(err)
+	}
+	return NewHost(sp)
+}
+
+func randStrategy(rng *rand.Rand, n, u int) bitset.Set {
+	strat := bitset.New(n)
+	for v := 0; v < n; v++ {
+		if v != u && rng.Float64() < 0.3 {
+			strat.Add(v)
+		}
+	}
+	return strat
+}
+
+// assertMatchesFresh compares every cached cost query on s against a
+// fresh uncached state rebuilt from the same profile.
+func assertMatchesFresh(t *testing.T, s *State, step int) {
+	t.Helper()
+	fresh := NewState(s.G, s.P.Clone())
+	fresh.SetDistCaching(false)
+	n := s.G.N()
+	for u := 0; u < n; u++ {
+		if got, want := s.Cost(u), fresh.Cost(u); !costEq(got, want) {
+			t.Fatalf("step %d: cached Cost(%d) = %v, fresh recomputation = %v", step, u, got, want)
+		}
+	}
+	if got, want := s.SocialCost(), fresh.SocialCost(); !costEq(got, want) {
+		t.Fatalf("step %d: cached SocialCost = %v, fresh recomputation = %v", step, got, want)
+	}
+	for u := 0; u < n; u++ {
+		got, want := s.APSPAvoiding(u), fresh.Network().APSPAvoiding(u)
+		for i := range got {
+			for j := range got[i] {
+				if !costEq(got[i][j], want[i][j]) {
+					t.Fatalf("step %d: cached APSPAvoiding(%d)[%d][%d] = %v, fresh = %v",
+						step, u, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func costEq(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1)
+	}
+	return math.Abs(a-b) <= 1e-9
+}
+
+// TestDistCacheMatchesFreshRecomputation is the cache-correctness
+// property test: after randomized Apply / SetStrategy / speculative
+// CostAfter / revert sequences, every cached cost query must equal a
+// recomputation on a fresh uncached state bound to the same profile.
+func TestDistCacheMatchesFreshRecomputation(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(3)
+		g := New(randCacheHost(rng, n), 0.3+3*rng.Float64())
+		s := NewState(g, StarProfile(n, rng.Intn(n)))
+		for step := 0; step < 60; step++ {
+			u := rng.Intn(n)
+			switch rng.Intn(4) {
+			case 0: // random single-edge move via Apply
+				moves := s.CandidateMoves(u)
+				if len(moves) == 0 {
+					continue
+				}
+				s.Apply(moves[rng.Intn(len(moves))])
+			case 1: // wholesale strategy replacement
+				s.SetStrategy(u, randStrategy(rng, n, u))
+			case 2: // speculative evaluation must leave the state intact
+				moves := s.CandidateMoves(u)
+				if len(moves) == 0 {
+					continue
+				}
+				m := moves[rng.Intn(len(moves))]
+				before := s.Cost(u)
+				_ = s.CostAfter(m)
+				if got := s.Cost(u); !costEq(got, before) {
+					t.Fatalf("seed %d step %d: CostAfter mutated the state: Cost(%d) %v -> %v",
+						seed, step, u, before, got)
+				}
+			case 3: // apply then exactly revert (the dynamics-scan pattern)
+				old := s.P.S[u].Clone()
+				s.SetStrategy(u, randStrategy(rng, n, u))
+				_ = s.Cost(u)
+				s.SetStrategy(u, old)
+			}
+			if step%7 == 0 || step == 59 {
+				assertMatchesFresh(t, s, step)
+			}
+		}
+	}
+}
+
+// TestDistCacheToggleRoundTrip: disabling and re-enabling memoization
+// around mutations must never serve stale distances.
+func TestDistCacheToggleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 7
+	g := New(randCacheHost(rng, n), 1.2)
+	s := NewState(g, StarProfile(n, 0))
+	_ = s.SocialCost() // populate the cache
+	s.SetDistCaching(false)
+	s.Apply(Move{Agent: 1, Kind: Buy, V: 3})
+	s.SetDistCaching(true)
+	if !s.DistCachingEnabled() {
+		t.Fatal("caching should be re-enabled")
+	}
+	assertMatchesFresh(t, s, 0)
+}
+
+// TestDistCacheConcurrentReads exercises the parallel read path (the
+// IsNash / TotalDistCost pattern) so `go test -race` can observe it.
+func TestDistCacheConcurrentReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 12
+	g := New(randCacheHost(rng, n), 2)
+	s := NewState(g, StarProfile(n, 0))
+	want := make([]float64, n)
+	fresh := NewState(g, s.P.Clone())
+	fresh.SetDistCaching(false)
+	for u := 0; u < n; u++ {
+		want[u] = fresh.Cost(u)
+	}
+	for round := 0; round < 4; round++ {
+		got := parallel.Map(n, func(u int) float64 { return s.Cost(u) })
+		for u := 0; u < n; u++ {
+			if !costEq(got[u], want[u]) {
+				t.Fatalf("round %d: concurrent Cost(%d) = %v, want %v", round, u, got[u], want[u])
+			}
+		}
+	}
+}

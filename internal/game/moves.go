@@ -60,12 +60,16 @@ func (s *State) Apply(m Move) {
 }
 
 // CostAfter evaluates the mover's cost after the move without leaving the
-// state mutated.
+// state mutated. The speculative mutation is exactly undone, so distances
+// cached before the call are revalidated afterwards (cache.restore) and
+// surrounding scans pay only for the speculative network itself.
 func (s *State) CostAfter(m Move) float64 {
 	old := s.P.S[m.Agent].Clone()
+	snap := s.cache.snapshot()
 	s.Apply(m)
 	c := s.Cost(m.Agent)
 	s.SetStrategy(m.Agent, old)
+	s.cache.restore(snap)
 	return c
 }
 

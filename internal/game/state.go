@@ -9,13 +9,15 @@ import (
 )
 
 // State is a strategy profile bound to its game, with the created network
-// G(s) kept materialized. All cost queries and move evaluations go through
-// a State. States are not safe for concurrent mutation; read-only cost
-// queries on distinct sources are safe.
+// G(s) kept materialized and shortest-path queries memoized (see
+// cache.go). All cost queries and move evaluations go through a State.
+// States are not safe for concurrent mutation; read-only cost queries on
+// distinct sources are safe.
 type State struct {
-	G   *Game
-	P   Profile
-	net *graph.Graph
+	G     *Game
+	P     Profile
+	net   *graph.Graph
+	cache *distCache
 }
 
 // NewState binds profile p to game g and materializes G(s). The profile is
@@ -25,7 +27,7 @@ func NewState(g *Game, p Profile) *State {
 	if p.N() != g.N() {
 		panic("game: profile size does not match host")
 	}
-	s := &State{G: g, P: p}
+	s := &State{G: g, P: p, cache: newDistCache(g.N(), false)}
 	s.rebuild()
 	return s
 }
@@ -40,6 +42,7 @@ func (s *State) rebuild() {
 			}
 		})
 	}
+	s.cache.bump()
 }
 
 // hostWeight returns w(u,v), mapping +Inf host weights onto +Inf network
@@ -49,16 +52,23 @@ func (s *State) hostWeight(u, v int) float64 { return s.G.Host.Weight(u, v) }
 // Network returns the created network G(s). Callers must not mutate it.
 func (s *State) Network() *graph.Graph { return s.net }
 
-// Clone returns an independent copy of the state.
+// Clone returns an independent copy of the state (with a fresh, empty
+// distance cache inheriting the original's on/off toggle).
 func (s *State) Clone() *State {
-	return &State{G: s.G, P: s.P.Clone(), net: s.net.Clone()}
+	return &State{
+		G: s.G, P: s.P.Clone(), net: s.net.Clone(),
+		cache: newDistCache(s.G.N(), s.cache.off),
+	}
 }
 
 // SetStrategy replaces agent u's strategy and incrementally repairs the
-// network: only u's incident edges change.
+// network: only u's incident edges change. Cached distances are
+// invalidated only if the edge set actually changed (a pure ownership
+// change leaves every distance intact).
 func (s *State) SetStrategy(u int, strat bitset.Set) {
 	n := s.G.N()
 	s.P.S[u] = strat.Clone()
+	changed := false
 	for v := 0; v < n; v++ {
 		if v == u {
 			continue
@@ -68,9 +78,14 @@ func (s *State) SetStrategy(u int, strat bitset.Set) {
 		switch {
 		case want && !has:
 			s.net.AddEdge(u, v, s.hostWeight(u, v))
+			changed = true
 		case !want && has:
 			s.net.RemoveEdge(u, v)
+			changed = true
 		}
+	}
+	if changed {
+		s.cache.bump()
 	}
 }
 
@@ -85,7 +100,7 @@ func (s *State) EdgeCost(u int) float64 {
 // traffic matrix (uniformly 1 in the paper's model); +Inf if u cannot
 // reach a node it has positive demand towards.
 func (s *State) DistCost(u int) float64 {
-	dist := s.net.Dijkstra(u)
+	dist := s.Dist(u)
 	total := 0.0
 	for v, d := range dist {
 		if v == u {

@@ -64,43 +64,36 @@ func Map[T any](n int, fn func(i int) T) []T {
 	return out
 }
 
+// reduceChunks is the fixed partition count used by Reduce. It is a
+// constant (not GOMAXPROCS) so the fold tree — and hence the result of
+// non-associative-in-practice combines like float addition — is identical
+// on every machine and under any scheduling.
+const reduceChunks = 64
+
 // Reduce computes fn(i) for every i in [0,n) in parallel and folds the
-// results with combine, starting from zero. combine must be associative
-// and commutative; the fold order is unspecified.
+// results with combine, starting from zero. The fold order is
+// deterministic: the index range is split into fixed chunks, each chunk
+// accumulates in index order, and chunk partials combine in chunk order.
+// Float sums therefore reproduce bit-for-bit across runs, worker counts
+// and machines — a requirement of the sweep engine's byte-identical
+// results contract.
 func Reduce[T any](n int, zero T, fn func(i int) T, combine func(a, b T) T) T {
-	workers := Workers()
-	if workers > n {
-		workers = n
-	}
 	if n <= 0 {
 		return zero
 	}
-	if workers <= 1 {
+	chunks := reduceChunks
+	if n < chunks {
+		chunks = n
+	}
+	partial := make([]T, chunks)
+	ForWorkers(chunks, Workers(), func(c int) {
+		lo, hi := c*n/chunks, (c+1)*n/chunks
 		acc := zero
-		for i := 0; i < n; i++ {
+		for i := lo; i < hi; i++ {
 			acc = combine(acc, fn(i))
 		}
-		return acc
-	}
-	partial := make([]T, workers)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			acc := zero
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					partial[w] = acc
-					return
-				}
-				acc = combine(acc, fn(i))
-			}
-		}(w)
-	}
-	wg.Wait()
+		partial[c] = acc
+	})
 	acc := zero
 	for _, p := range partial {
 		acc = combine(acc, p)

@@ -77,3 +77,20 @@ func TestFirstErrReturnsSmallestIndex(t *testing.T) {
 		t.Fatalf("FirstErr on success = %v", err)
 	}
 }
+
+// TestReduceFloatDeterminism: float folds must reproduce bit-for-bit
+// across repeated runs — the sweep engine's byte-identical results
+// contract depends on it. The values are chosen so that any change in
+// summation order flips low-order bits.
+func TestReduceFloatDeterminism(t *testing.T) {
+	n := 1003
+	fn := func(i int) float64 { return 1.0 / float64(i+1) }
+	add := func(a, b float64) float64 { return a + b }
+	want := Reduce(n, 0.0, fn, add)
+	for run := 0; run < 50; run++ {
+		if got := Reduce(n, 0.0, fn, add); got != want {
+			t.Fatalf("run %d: Reduce = %x, want %x (non-deterministic fold order)",
+				run, got, want)
+		}
+	}
+}

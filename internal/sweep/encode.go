@@ -1,0 +1,105 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"gncg/internal/report"
+)
+
+// EncodeJSON writes the result set as deterministic JSON: cell order is
+// the global sequence order, object keys follow declaration order, and
+// every value is rendered by report.JSONValue. Two runs over the same
+// cells produce byte-identical output regardless of worker count or
+// shard partitioning (after Merge).
+func (rs *ResultSet) EncodeJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\n  \"cells\": [")
+	for ci, c := range rs.Cells {
+		if ci > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString("\n    {")
+		fmt.Fprintf(bw, "\"seq\": %d, \"experiment\": %s, \"cell\": %d",
+			c.Seq, report.JSONValue(c.Experiment), c.Cell.Index)
+		if params := c.Cell.paramPairs(); len(params) > 0 {
+			bw.WriteString(", \"params\": {")
+			for pi, kv := range params {
+				if pi > 0 {
+					bw.WriteString(", ")
+				}
+				fmt.Fprintf(bw, "%s: %s", report.JSONValue(kv.Key), report.JSONValue(kv.Value))
+			}
+			bw.WriteByte('}')
+		}
+		if c.Err != "" {
+			fmt.Fprintf(bw, ", \"err\": %s", report.JSONValue(c.Err))
+		}
+		bw.WriteString(", \"records\": [")
+		for ri, r := range c.Records {
+			if ri > 0 {
+				bw.WriteString(", ")
+			}
+			bw.WriteByte('{')
+			for fi, f := range r.Fields {
+				if fi > 0 {
+					bw.WriteString(", ")
+				}
+				fmt.Fprintf(bw, "%s: %s", report.JSONValue(f.Key), report.JSONValue(f.Value))
+			}
+			bw.WriteByte('}')
+		}
+		bw.WriteString("]}")
+	}
+	bw.WriteString("\n  ]\n}\n")
+	return bw.Flush()
+}
+
+// EncodeCSV writes the result set in long format — one row per record
+// field — which keeps heterogeneous experiments in a single rectangular
+// schema: seq, experiment, cell, record, key, value.
+func (rs *ResultSet) EncodeCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seq", "experiment", "cell", "record", "key", "value"}); err != nil {
+		return err
+	}
+	for _, c := range rs.Cells {
+		for ri, r := range c.Records {
+			for _, f := range r.Fields {
+				row := []string{
+					strconv.Itoa(c.Seq), c.Experiment, strconv.Itoa(c.Cell.Index),
+					strconv.Itoa(ri), f.Key, report.Precise(f.Value),
+				}
+				if err := cw.Write(row); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// paramPairs lists the set grid dimensions of a cell in a fixed order.
+func (p Params) paramPairs() []Field {
+	var out []Field
+	if p.Has(DimHost) {
+		out = append(out, Field{"host", p.Host})
+	}
+	if p.Has(DimNorm) {
+		out = append(out, Field{"norm", p.Norm})
+	}
+	if p.Has(DimAlpha) {
+		out = append(out, Field{"alpha", p.Alpha})
+	}
+	if p.Has(DimN) {
+		out = append(out, Field{"n", p.N})
+	}
+	if p.Has(DimSeed) {
+		out = append(out, Field{"seed", p.Seed})
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gncg/internal/parallel"
+)
+
+// Config controls one engine run.
+type Config struct {
+	Quick   bool // shrink grids to their CI-friendly size
+	Workers int  // worker goroutines; <= 0 means GOMAXPROCS
+	Shards  int  // total shard count; <= 1 disables sharding
+	Shard   int  // this process's shard index in [0, Shards)
+	// Progress, if non-nil, receives one human-readable line per
+	// completed cell. Progress output is advisory and must never be mixed
+	// into result encoding (it depends on execution order).
+	Progress func(line string)
+}
+
+// CellResult is the outcome of one executed cell. Title and Note are
+// rendering metadata copied from the experiment; they are not encoded.
+type CellResult struct {
+	Seq        int // global cell sequence number across the selected experiments
+	Experiment string
+	Title      string
+	Note       string
+	Cell       Params
+	Records    []Record
+	Err        string // non-empty if the cell panicked
+}
+
+// ResultSet is an ordered collection of cell results. Sets produced by
+// Run are already in sequence order; Merge restores that order across
+// shard outputs.
+type ResultSet struct {
+	Cells []CellResult
+}
+
+// FirstErr returns the error of the lowest-sequence failed cell, if any.
+func (rs *ResultSet) FirstErr() error {
+	for _, c := range rs.Cells {
+		if c.Err != "" {
+			return fmt.Errorf("sweep: cell %d (%s) failed: %s", c.Seq, c.Experiment, c.Err)
+		}
+	}
+	return nil
+}
+
+type cellTask struct {
+	seq  int
+	exp  Experiment
+	cell Params
+}
+
+// Run expands the selected experiments into cells, assigns each cell a
+// global sequence number, keeps the cells belonging to this shard
+// (seq mod Shards == Shard) and executes them over a bounded worker pool.
+// Results are placed by index, so the returned set's order — and its
+// encoded bytes — are independent of worker count and scheduling.
+func Run(exps []Experiment, cfg Config) (*ResultSet, error) {
+	shards := cfg.Shards
+	if shards <= 1 {
+		shards = 1
+	}
+	if cfg.Shard < 0 || cfg.Shard >= shards {
+		return nil, fmt.Errorf("sweep: shard %d out of range [0,%d)", cfg.Shard, shards)
+	}
+	var tasks []cellTask
+	seq := 0
+	for _, e := range exps {
+		for _, cell := range e.Cells(cfg.Quick) {
+			if seq%shards == cfg.Shard {
+				tasks = append(tasks, cellTask{seq: seq, exp: e, cell: cell})
+			}
+			seq++
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = parallel.Workers()
+	}
+	results := make([]CellResult, len(tasks))
+	var done atomic.Int64
+	var progressMu sync.Mutex
+	parallel.ForWorkers(len(tasks), workers, func(i int) {
+		t := tasks[i]
+		res := CellResult{Seq: t.seq, Experiment: t.exp.Name, Title: t.exp.Title,
+			Note: t.exp.Note, Cell: t.cell}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					res.Err = fmt.Sprintf("panic: %v", r)
+				}
+			}()
+			res.Records = t.exp.Run(t.cell)
+		}()
+		results[i] = res
+		if cfg.Progress != nil {
+			d := done.Add(1)
+			progressMu.Lock()
+			cfg.Progress(fmt.Sprintf("[%d/%d] %s cell %d done (%d records)",
+				d, len(tasks), t.exp.Name, t.cell.Index, len(res.Records)))
+			progressMu.Unlock()
+		}
+	})
+	return &ResultSet{Cells: results}, nil
+}
+
+// Merge combines shard outputs into one set ordered by global sequence
+// number, deduplicating overlapping cells. Merging the outputs of all K
+// shards of the same run reproduces the unsharded result exactly.
+func Merge(sets ...*ResultSet) *ResultSet {
+	var all []CellResult
+	seen := map[int]bool{}
+	for _, rs := range sets {
+		if rs == nil {
+			continue
+		}
+		for _, c := range rs.Cells {
+			if seen[c.Seq] {
+				continue
+			}
+			seen[c.Seq] = true
+			all = append(all, c)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
+	return &ResultSet{Cells: all}
+}

@@ -1,0 +1,71 @@
+package sweep
+
+// Grid is a parameter grid: the cross product of its non-empty dimensions
+// expands into cells. An entirely empty grid expands into exactly one
+// cell with no set dimensions (the "scalar experiment" case).
+type Grid struct {
+	Alphas []float64 // edge-price parameter values
+	Ns     []int     // instance sizes (node counts, dimensions, ladder steps)
+	Hosts  []string  // host-graph class selectors
+	Norms  []float64 // p-norm selectors for geometric hosts
+	Seeds  []int64   // per-cell deterministic RNG seeds
+}
+
+// Seq returns [0, n) as int64 seeds: the common "n independent trials"
+// seed dimension.
+func Seq(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+// Cells expands the grid in a fixed dimension order — hosts, norms,
+// alphas, ns, seeds, outermost first — assigning each cell its index in
+// that enumeration. The order is part of the sharding contract: cell
+// identity and shard assignment must not depend on execution context.
+func (g Grid) Cells() []Params {
+	type dim struct {
+		bit uint8
+		len int
+		set func(p *Params, i int)
+	}
+	one := func(n int) int {
+		if n == 0 {
+			return 1
+		}
+		return n
+	}
+	dims := []dim{
+		{DimHost, len(g.Hosts), func(p *Params, i int) { p.Host = g.Hosts[i] }},
+		{DimNorm, len(g.Norms), func(p *Params, i int) { p.Norm = g.Norms[i] }},
+		{DimAlpha, len(g.Alphas), func(p *Params, i int) { p.Alpha = g.Alphas[i] }},
+		{DimN, len(g.Ns), func(p *Params, i int) { p.N = g.Ns[i] }},
+		{DimSeed, len(g.Seeds), func(p *Params, i int) { p.Seed = g.Seeds[i] }},
+	}
+	total := 1
+	for _, d := range dims {
+		total *= one(d.len)
+	}
+	cells := make([]Params, 0, total)
+	idx := make([]int, len(dims))
+	for c := 0; c < total; c++ {
+		p := Params{Index: c}
+		for di, d := range dims {
+			if d.len > 0 {
+				p.Dims |= d.bit
+				d.set(&p, idx[di])
+			}
+		}
+		cells = append(cells, p)
+		for di := len(dims) - 1; di >= 0; di-- {
+			idx[di]++
+			if idx[di] < one(dims[di].len) {
+				break
+			}
+			idx[di] = 0
+		}
+	}
+	return cells
+}

@@ -1,0 +1,106 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// registry holds experiments in registration order; selection and cell
+// enumeration preserve that order so output layout is stable.
+var registry []Experiment
+
+// Register adds an experiment to the global registry. It panics on
+// duplicate names, empty names, or a nil run function — registration
+// happens at program start, so failing loudly is right.
+func Register(e Experiment) {
+	if e.Name == "" {
+		panic("sweep: experiment with empty name")
+	}
+	if e.Run == nil {
+		panic(fmt.Sprintf("sweep: experiment %q has no run function", e.Name))
+	}
+	for _, have := range registry {
+		if have.Name == e.Name {
+			panic(fmt.Sprintf("sweep: duplicate experiment %q", e.Name))
+		}
+	}
+	registry = append(registry, e)
+}
+
+// All returns the registered experiments in registration order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Lookup finds a registered experiment by name.
+func Lookup(name string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Tags returns the sorted set of all registered tags.
+func Tags() []string {
+	seen := map[string]bool{}
+	for _, e := range registry {
+		for _, t := range e.Tags {
+			seen[t] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Select resolves a comma-separated list of experiment names and/or tags
+// against the registry. An exact name match takes the selector (so a tag
+// sharing an experiment's name cannot widen the selection); otherwise the
+// selector is matched as a tag. Every selector must match at least one
+// experiment; matches are returned in registration order, deduplicated.
+// An empty spec or "all" selects everything.
+func Select(spec string) ([]Experiment, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "all" {
+		return All(), nil
+	}
+	want := map[string]bool{}
+	for _, sel := range strings.Split(spec, ",") {
+		sel = strings.TrimSpace(sel)
+		if sel == "" {
+			continue
+		}
+		if e, ok := Lookup(sel); ok {
+			want[e.Name] = true
+			continue
+		}
+		matched := false
+		for _, e := range registry {
+			for _, t := range e.Tags {
+				if t == sel {
+					want[e.Name] = true
+					matched = true
+					break
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("sweep: selector %q matches no experiment name or tag", sel)
+		}
+	}
+	var out []Experiment
+	for _, e := range registry {
+		if want[e.Name] {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}

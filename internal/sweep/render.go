@@ -1,0 +1,82 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+
+	"gncg/internal/report"
+)
+
+// RenderText renders the result set as aligned text tables, one table
+// per experiment (cells grouped in sequence order). Columns are the
+// cell's set grid dimensions followed by the record fields, taken from
+// the first record of the group; ragged records render their extra
+// fields unaligned rather than being dropped.
+func RenderText(w io.Writer, rs *ResultSet) {
+	for start := 0; start < len(rs.Cells); {
+		end := start
+		for end < len(rs.Cells) && rs.Cells[end].Experiment == rs.Cells[start].Experiment {
+			end++
+		}
+		group := rs.Cells[start:end]
+		renderGroup(w, group)
+		if note := group[0].Note; note != "" {
+			fmt.Fprintf(w, "note: %s\n", note)
+		}
+		start = end
+	}
+}
+
+func renderGroup(w io.Writer, group []CellResult) {
+	title := group[0].Title
+	if title == "" {
+		title = group[0].Experiment
+	}
+	fmt.Fprintf(w, "\n######## %s — %s ########\n", group[0].Experiment, title)
+	var header []string
+	var paramKeys []Field
+	for _, c := range group {
+		if len(c.Records) == 0 {
+			continue
+		}
+		paramKeys = c.Cell.paramPairs()
+		for _, kv := range paramKeys {
+			header = append(header, kv.Key)
+		}
+		for _, f := range c.Records[0].Fields {
+			header = append(header, f.Key)
+		}
+		break
+	}
+	if header == nil {
+		// Nothing but empty or failed cells: report errors and bail.
+		for _, c := range group {
+			if c.Err != "" {
+				fmt.Fprintf(w, "cell %d FAILED: %s\n", c.Cell.Index, c.Err)
+			} else {
+				fmt.Fprintf(w, "cell %d: no records\n", c.Cell.Index)
+			}
+		}
+		return
+	}
+	t := report.NewTable("", header...)
+	nparams := len(paramKeys)
+	for _, c := range group {
+		if c.Err != "" {
+			fmt.Fprintf(w, "cell %d FAILED: %s\n", c.Cell.Index, c.Err)
+			continue
+		}
+		params := c.Cell.paramPairs()
+		for _, r := range c.Records {
+			row := make([]any, 0, nparams+len(r.Fields))
+			for _, kv := range params {
+				row = append(row, kv.Value)
+			}
+			for _, f := range r.Fields {
+				row = append(row, f.Value)
+			}
+			t.AddRow(row...)
+		}
+	}
+	t.Render(w)
+}

@@ -1,0 +1,143 @@
+// Package sweep is the experiment engine: a registry of named
+// experiments, a parameter grid that expands into cells, and a sharded
+// executor that fans cells out over worker goroutines and funnels
+// structured results into deterministic JSON/CSV (via internal/report).
+//
+// The design goal is horizontal shardability with bit-identical results:
+// a sweep's cells are enumerated in a deterministic order, every cell
+// carries its own seed, and the merged output of any shard partition
+// (`-shards K -shard i` for i = 0..K-1) is byte-identical to a single
+// unsharded run, regardless of worker count. That makes the paper's full
+// reproduction resumable and distributable across processes.
+//
+// An experiment is a named cell function plus an optional grid:
+//
+//	sweep.Register(sweep.Experiment{
+//		Name: "fig6", Title: "Thm 15: PoA -> (alpha+2)/2",
+//		Tags: []string{"poa", "figures"},
+//		Grid: func(quick bool) sweep.Grid {
+//			return sweep.Grid{Alphas: []float64{1, 4}, Ns: []int{4, 8, 16}}
+//		},
+//		Run: func(p sweep.Params) []sweep.Record { ... },
+//	})
+//
+// Each cell returns ordered records (key/value rows); the engine never
+// reorders them, so rendering and encoding are reproducible.
+package sweep
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+)
+
+// Dim flags record which grid dimensions a cell's parameters carry, so
+// rendering and encoding can omit placeholder zero values.
+const (
+	DimAlpha = 1 << iota
+	DimN
+	DimHost
+	DimNorm
+	DimSeed
+)
+
+// Params identifies one cell of an expanded grid. Only the fields whose
+// dimension bit is set in Dims are meaningful; the rest are placeholders.
+type Params struct {
+	Experiment string
+	Index      int // position in the experiment's expanded grid
+	Dims       uint8
+	Alpha      float64
+	N          int
+	Host       string // host-graph class selector
+	Norm       float64
+	Seed       int64
+	Quick      bool
+}
+
+// Has reports whether the given dimension bit is set.
+func (p Params) Has(dim uint8) bool { return p.Dims&dim != 0 }
+
+// RNG returns a cell-local deterministic random source, derived from the
+// experiment name, the cell index and the cell seed — independent of
+// worker count and shard assignment.
+func (p Params) RNG() *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d/%d", p.Experiment, p.Index, p.Seed)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// Field is one ordered key/value pair of a record.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// Record is an ordered sequence of fields: one result row of a cell.
+// Order is part of the record's identity (it drives table columns and
+// JSON key order), which keeps output byte-deterministic.
+type Record struct {
+	Fields []Field
+}
+
+// R builds a record from alternating key, value arguments:
+// R("seed", 3, "ratio", 1.5).
+func R(kv ...any) Record {
+	if len(kv)%2 != 0 {
+		panic("sweep: R requires alternating key, value arguments")
+	}
+	r := Record{Fields: make([]Field, 0, len(kv)/2)}
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			panic(fmt.Sprintf("sweep: R key %d is %T, want string", i/2, kv[i]))
+		}
+		r.Fields = append(r.Fields, Field{Key: key, Value: kv[i+1]})
+	}
+	return r
+}
+
+// Get returns the value of the first field with the given key.
+func (r Record) Get(key string) (any, bool) {
+	for _, f := range r.Fields {
+		if f.Key == key {
+			return f.Value, true
+		}
+	}
+	return nil, false
+}
+
+// RunFunc computes one cell and returns its result rows.
+type RunFunc func(p Params) []Record
+
+// Experiment is a named, taggable unit of the paper's reproduction.
+type Experiment struct {
+	Name  string
+	Title string
+	// Note is a caveat printed under the rendered table — e.g. how the
+	// reproduction's evidence relates to the paper's claim. It is
+	// rendering metadata, not part of the encoded results.
+	Note string
+	Tags []string
+	// Grid declares the parameter grid, possibly shrunk in quick mode.
+	// nil means a single cell with no set dimensions.
+	Grid func(quick bool) Grid
+	Run  RunFunc
+}
+
+// Cells expands the experiment's grid (the declared one, or a single
+// scalar cell when Grid is nil) and stamps each cell with the experiment
+// identity. This is exactly the enumeration the engine executes, so
+// callers (e.g. `-list` cell counts) can never diverge from a run.
+func (e Experiment) Cells(quick bool) []Params {
+	var g Grid
+	if e.Grid != nil {
+		g = e.Grid(quick)
+	}
+	cells := g.Cells()
+	for i := range cells {
+		cells[i].Experiment = e.Name
+		cells[i].Quick = quick
+	}
+	return cells
+}

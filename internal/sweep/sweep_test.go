@@ -1,0 +1,284 @@
+package sweep
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func toyExperiments() []Experiment {
+	// A mix of shapes: a full grid, a seeds-only trial ladder, and a
+	// scalar single-cell experiment. Cell outputs are pure functions of
+	// the cell parameters (via the cell-local RNG), so any execution
+	// order must reproduce them exactly.
+	return []Experiment{
+		{
+			Name: "toy-grid", Title: "toy full grid", Tags: []string{"toy", "grid"},
+			Grid: func(quick bool) Grid {
+				g := Grid{
+					Hosts:  []string{"uniform", "clustered"},
+					Alphas: []float64{0.5, 1, 2},
+					Ns:     []int{4, 8},
+					Seeds:  Seq(3),
+				}
+				if quick {
+					g.Seeds = Seq(1)
+				}
+				return g
+			},
+			Run: func(p Params) []Record {
+				rng := p.RNG()
+				v := rng.Float64() * p.Alpha * float64(p.N)
+				return []Record{R("value", v, "host", p.Host, "inf_guard", math.Inf(1))}
+			},
+		},
+		{
+			Name: "toy-trials", Title: "toy seed ladder", Tags: []string{"toy"},
+			Grid: func(quick bool) Grid { return Grid{Seeds: Seq(7)} },
+			Run: func(p Params) []Record {
+				var recs []Record
+				for i := 0; i <= int(p.Seed)%3; i++ {
+					recs = append(recs, R("trial", i, "seed2", p.Seed*p.Seed))
+				}
+				return recs
+			},
+		},
+		{
+			Name: "toy-scalar", Title: "toy scalar", Tags: []string{"scalar"},
+			Run: func(p Params) []Record { return []Record{R("answer", 42)} },
+		},
+	}
+}
+
+func encodeBoth(t *testing.T, rs *ResultSet) (string, string) {
+	t.Helper()
+	var j, c bytes.Buffer
+	if err := rs.EncodeJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.EncodeCSV(&c); err != nil {
+		t.Fatal(err)
+	}
+	return j.String(), c.String()
+}
+
+// TestShardAndWorkerDeterminism is the engine's core contract: the same
+// grid and seeds must produce byte-identical JSON and CSV regardless of
+// worker count and shard partitioning.
+func TestShardAndWorkerDeterminism(t *testing.T) {
+	exps := toyExperiments()
+	ref, err := Run(exps, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	refJSON, refCSV := encodeBoth(t, ref)
+	if len(ref.Cells) != 2*3*2*3+7+1 {
+		t.Fatalf("unexpected cell count %d", len(ref.Cells))
+	}
+	for _, workers := range []int{2, 8, 0} {
+		got, err := Run(exps, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gj, gc := encodeBoth(t, got)
+		if gj != refJSON {
+			t.Fatalf("workers=%d: JSON differs from single-worker run", workers)
+		}
+		if gc != refCSV {
+			t.Fatalf("workers=%d: CSV differs from single-worker run", workers)
+		}
+	}
+	for _, shards := range []int{2, 3, 5} {
+		var parts []*ResultSet
+		total := 0
+		for shard := 0; shard < shards; shard++ {
+			part, err := Run(exps, Config{Workers: 4, Shards: shards, Shard: shard})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += len(part.Cells)
+			parts = append(parts, part)
+		}
+		if total != len(ref.Cells) {
+			t.Fatalf("shards=%d: partition covers %d cells, want %d", shards, total, len(ref.Cells))
+		}
+		merged := Merge(parts...)
+		gj, gc := encodeBoth(t, merged)
+		if gj != refJSON {
+			t.Fatalf("shards=%d: merged JSON differs from unsharded run", shards)
+		}
+		if gc != refCSV {
+			t.Fatalf("shards=%d: merged CSV differs from unsharded run", shards)
+		}
+	}
+}
+
+func TestGridExpansion(t *testing.T) {
+	g := Grid{Alphas: []float64{1, 2}, Seeds: Seq(3)}
+	cells := g.Cells()
+	if len(cells) != 6 {
+		t.Fatalf("got %d cells, want 6", len(cells))
+	}
+	// Alphas are outer, seeds inner; indices are consecutive.
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has index %d", i, c.Index)
+		}
+		wantAlpha := []float64{1, 1, 1, 2, 2, 2}[i]
+		wantSeed := int64(i % 3)
+		if c.Alpha != wantAlpha || c.Seed != wantSeed {
+			t.Fatalf("cell %d = (alpha %v, seed %d), want (%v, %d)", i, c.Alpha, c.Seed, wantAlpha, wantSeed)
+		}
+		if !c.Has(DimAlpha) || !c.Has(DimSeed) || c.Has(DimN) || c.Has(DimHost) || c.Has(DimNorm) {
+			t.Fatalf("cell %d has wrong dims %b", i, c.Dims)
+		}
+	}
+	if n := len((Grid{}).Cells()); n != 1 {
+		t.Fatalf("empty grid expands to %d cells, want 1", n)
+	}
+	if (Grid{}).Cells()[0].Dims != 0 {
+		t.Fatal("empty grid cell should have no set dims")
+	}
+}
+
+func TestRegistrySelect(t *testing.T) {
+	for _, e := range toyExperiments() {
+		Register(e)
+	}
+	defer func() { registry = nil }()
+	if _, ok := Lookup("toy-grid"); !ok {
+		t.Fatal("Lookup failed for registered experiment")
+	}
+	byTag, err := Select("toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byTag) != 2 || byTag[0].Name != "toy-grid" || byTag[1].Name != "toy-trials" {
+		t.Fatalf("tag selection wrong: %v", names(byTag))
+	}
+	mixed, err := Select("scalar,toy-trials,toy-trials")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixed) != 2 || mixed[0].Name != "toy-trials" || mixed[1].Name != "toy-scalar" {
+		t.Fatalf("mixed selection wrong (want registration order, deduped): %v", names(mixed))
+	}
+	if _, err := Select("no-such-thing"); err == nil {
+		t.Fatal("unknown selector should fail")
+	}
+	all, err := Select("all")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("Select(all) = %v, %v", names(all), err)
+	}
+	// An exact name match must shadow a tag of the same name.
+	Register(Experiment{Name: "shadow", Tags: []string{"toy-scalar"},
+		Run: func(p Params) []Record { return nil }})
+	shadowed, err := Select("toy-scalar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shadowed) != 1 || shadowed[0].Name != "toy-scalar" {
+		t.Fatalf("name should take precedence over same-named tag: %v", names(shadowed))
+	}
+}
+
+func names(exps []Experiment) []string {
+	out := make([]string, len(exps))
+	for i, e := range exps {
+		out[i] = e.Name
+	}
+	return out
+}
+
+func TestCellPanicIsCaptured(t *testing.T) {
+	exps := []Experiment{
+		{Name: "boom", Run: func(p Params) []Record { panic("kaput") }},
+		{Name: "fine", Run: func(p Params) []Record { return []Record{R("x", 1)} }},
+	}
+	rs, err := Run(exps, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Cells[0].Err == "" || !strings.Contains(rs.Cells[0].Err, "kaput") {
+		t.Fatalf("panic not captured: %+v", rs.Cells[0])
+	}
+	if rs.Cells[1].Err != "" || len(rs.Cells[1].Records) != 1 {
+		t.Fatalf("healthy cell affected: %+v", rs.Cells[1])
+	}
+	if rs.FirstErr() == nil {
+		t.Fatal("FirstErr should surface the panic")
+	}
+}
+
+func TestEncodeNonFiniteAndEscaping(t *testing.T) {
+	rs := &ResultSet{Cells: []CellResult{{
+		Seq: 0, Experiment: `quo"ted`,
+		Records: []Record{R("pos", math.Inf(1), "neg", math.Inf(-1), "text", "a,b\nc")},
+	}}}
+	j, c := encodeBoth(t, rs)
+	for _, want := range []string{`"inf"`, `"-inf"`, `"quo\"ted"`} {
+		if !strings.Contains(j, want) {
+			t.Fatalf("JSON missing %s:\n%s", want, j)
+		}
+	}
+	if !strings.Contains(c, `"a,b`) {
+		t.Fatalf("CSV did not escape the comma/newline value:\n%s", c)
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	exps := toyExperiments()
+	rs, err := Run(exps, Config{Quick: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderText(&buf, rs)
+	out := buf.String()
+	for _, want := range []string{"toy-grid", "toy full grid", "host", "alpha", "value", "answer"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRecordHelpers(t *testing.T) {
+	r := R("a", 1, "b", "x")
+	if v, ok := r.Get("b"); !ok || v != "x" {
+		t.Fatalf("Get(b) = %v, %v", v, ok)
+	}
+	if _, ok := r.Get("zz"); ok {
+		t.Fatal("Get of missing key should fail")
+	}
+	mustPanic(t, func() { R("odd") })
+	mustPanic(t, func() { R(1, 2) })
+	mustPanic(t, func() { Register(Experiment{Name: ""}) })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+// TestSeededRNGIndependence: the cell RNG must depend on experiment,
+// index and seed only.
+func TestSeededRNGIndependence(t *testing.T) {
+	p1 := Params{Experiment: "e", Index: 3, Seed: 9}
+	p2 := Params{Experiment: "e", Index: 3, Seed: 9, Host: "other", Alpha: 5}
+	if p1.RNG().Int63() != p2.RNG().Int63() {
+		t.Fatal("RNG should not depend on non-identity fields")
+	}
+	p3 := Params{Experiment: "e", Index: 4, Seed: 9}
+	if p1.RNG().Int63() == p3.RNG().Int63() {
+		t.Fatal("RNG should differ across cell indices")
+	}
+}
