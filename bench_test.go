@@ -483,6 +483,62 @@ func benchmarkNashVerify(b *testing.B, cached bool) {
 func BenchmarkNashVerifyCached(b *testing.B)   { benchmarkNashVerify(b, true) }
 func BenchmarkNashVerifyUncached(b *testing.B) { benchmarkNashVerify(b, false) }
 
+// ---- lazy-host construction and memory benchmarks ----
+//
+// The Host API computes weights lazily from the backing metric.Space;
+// the allocs/op and B/op columns of these benchmarks are the redesign's
+// contract: constructing a game on an n-point host allocates O(n) state
+// (graph adjacency + cache bookkeeping), not an O(n²) dense matrix,
+// unless densification is explicitly requested. The CI baseline tracks
+// these numbers across runs.
+
+// benchmarkHostConstruct builds the lazy host, the game and a star state,
+// then runs one cost query (a single Dijkstra) — the minimum end-to-end
+// path a sweep cell pays per instance.
+func benchmarkHostConstruct(b *testing.B, n int, densify bool) {
+	pts := gen.Points(7, n, 2, 1000, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := game.NewHost(pts)
+		if densify {
+			_ = h.Densify()
+		}
+		g := game.New(h, 2)
+		s := game.NewState(g, game.StarProfile(n, 0))
+		_ = s.Cost(n / 2)
+	}
+}
+
+func BenchmarkHostConstructLazy1k(b *testing.B)  { benchmarkHostConstruct(b, 1000, false) }
+func BenchmarkHostConstructLazy5k(b *testing.B)  { benchmarkHostConstruct(b, 5000, false) }
+func BenchmarkHostConstructLazy10k(b *testing.B) { benchmarkHostConstruct(b, 10000, false) }
+
+// BenchmarkHostConstructDense1k is the explicit-densification baseline:
+// the same workload paying the O(n²) matrix up front. (Larger dense sizes
+// are omitted on purpose — 10k dense is an 800 MB allocation, which is
+// exactly what the lazy path exists to avoid.)
+func BenchmarkHostConstructDense1k(b *testing.B) { benchmarkHostConstruct(b, 1000, true) }
+
+// BenchmarkHostCostQueries10k measures repeated cost queries against an
+// unchanged 10k-agent star state on a lazy host: rotating single-source
+// queries plus the speculative move evaluation of the greedy hot path.
+func BenchmarkHostCostQueries10k(b *testing.B) {
+	n := 10000
+	g := game.New(game.NewHost(gen.Points(7, n, 2, 1000, 2)), 2)
+	s := game.NewState(g, game.StarProfile(n, 0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := 1 + i%(n-1)
+		_ = s.Cost(u)
+		m := game.Move{Agent: u, Kind: game.Buy, V: 1 + (i*7)%(n-1)}
+		if m.V != u {
+			_ = s.CostAfter(m)
+		}
+	}
+}
+
 // ---- solver micro-benchmarks ----
 
 // BenchmarkDijkstra measures single-source shortest paths on a 200-node

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark's parsed metrics: unit -> value (e.g.
+// "ns/op" -> 706520, "allocs/op" -> 2025, plus any custom ReportMetric
+// units like "poa").
+type BenchResult struct {
+	Name    string
+	Metrics map[string]float64
+}
+
+// benchLine matches a full Go benchmark result line:
+//
+//	BenchmarkFoo-8   1   706520 ns/op   338064 B/op   2025 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped from the key so baselines compare
+// across machines with different core counts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+\s+.+)$`)
+
+// bareResult matches a result line with the name elided — `go test -json`
+// sometimes splits the name and the stats into separate output events, in
+// which case only the event's Test field carries the name.
+var bareResult = regexp.MustCompile(`^\d+\s+.+$`)
+
+// ParseBench reads benchmark results from r, which may be either a
+// `go test -json` event stream (the CI baseline artifact) or plain
+// `go test -bench` text output. Results are keyed by package-qualified
+// benchmark name ("pkg.BenchmarkFoo") when the package is known (-json
+// streams), so same-named benchmarks in different packages never collide;
+// plain text carries no package and keys by bare name. Later results for
+// the same key overwrite earlier ones (reruns).
+func ParseBench(r io.Reader) (map[string]BenchResult, error) {
+	out := map[string]BenchResult{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line, testName, pkg := sc.Text(), "", ""
+		if strings.HasPrefix(line, "{") {
+			var ev struct {
+				Action  string `json:"Action"`
+				Package string `json:"Package"`
+				Test    string `json:"Test"`
+				Output  string `json:"Output"`
+			}
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				if ev.Action != "output" {
+					continue
+				}
+				line = strings.TrimSuffix(ev.Output, "\n")
+				testName, pkg = ev.Test, ev.Package
+			}
+		}
+		parseBenchLine(strings.TrimSpace(line), testName, pkg, out)
+	}
+	return out, sc.Err()
+}
+
+// parseBenchLine adds the line's metrics to out if it is a benchmark
+// result line; anything else is ignored. testName and pkg are the
+// surrounding -json event's Test and Package fields: the former names
+// result lines whose Output omits the name, the latter qualifies the key.
+func parseBenchLine(line, testName, pkg string, out map[string]BenchResult) {
+	var name, rest string
+	if m := benchLine.FindStringSubmatch(line); m != nil {
+		name, rest = m[1], m[2]
+	} else if strings.HasPrefix(testName, "Benchmark") && bareResult.MatchString(line) {
+		name, rest = testName, line
+	} else {
+		return
+	}
+	if pkg != "" {
+		name = pkg + "." + name
+	}
+	fields := strings.Fields(rest)[1:] // drop the iteration count
+	if len(fields)%2 != 0 {
+		return
+	}
+	metrics := map[string]float64{}
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return
+		}
+		metrics[fields[i+1]] = v
+	}
+	if _, ok := metrics["ns/op"]; !ok {
+		return
+	}
+	out[name] = BenchResult{Name: name, Metrics: metrics}
+}
+
+// Thresholds configures what counts as a regression. Single-iteration
+// (benchtime 1x) smoke runs are noisy, so time comparisons use a generous
+// ratio plus an absolute floor; allocation counts are deterministic and
+// compared tightly.
+type Thresholds struct {
+	TimeRatio  float64 // flag if new ns/op > old * TimeRatio ...
+	TimeFloor  float64 // ... and new ns/op > TimeFloor
+	AllocRatio float64 // flag if new allocs/op > old * AllocRatio ...
+	AllocFloor float64 // ... and new - old > AllocFloor
+}
+
+// DefaultThresholds matches the CI bench-smoke cadence: 1x iterations,
+// cross-runner variance.
+func DefaultThresholds() Thresholds {
+	return Thresholds{TimeRatio: 4, TimeFloor: 50e6, AllocRatio: 1.25, AllocFloor: 1000}
+}
+
+// Regression is one flagged metric change.
+type Regression struct {
+	Name     string
+	Metric   string
+	Old, New float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("REGRESSION %s %s: %.6g -> %.6g (%.2fx)", r.Name, r.Metric, r.Old, r.New, r.New/r.Old)
+}
+
+// Compare flags regressions of new against old under the thresholds.
+// Benchmarks present on only one side are never regressions (added or
+// removed benchmarks are reported separately by the caller). Results are
+// sorted by benchmark name for deterministic output.
+func Compare(old, cur map[string]BenchResult, th Thresholds) []Regression {
+	var regs []Regression
+	for name, o := range old {
+		n, ok := cur[name]
+		if !ok {
+			continue
+		}
+		if on, nn := o.Metrics["ns/op"], n.Metrics["ns/op"]; on > 0 && nn > on*th.TimeRatio && nn > th.TimeFloor {
+			regs = append(regs, Regression{Name: name, Metric: "ns/op", Old: on, New: nn})
+		}
+		oa, haveOld := o.Metrics["allocs/op"]
+		na, haveNew := n.Metrics["allocs/op"]
+		if haveOld && haveNew && oa > 0 && na > oa*th.AllocRatio && na-oa > th.AllocFloor {
+			regs = append(regs, Regression{Name: name, Metric: "allocs/op", Old: oa, New: na})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}
+
+// Common counts benchmark keys present on both sides. Zero overlap
+// between two non-empty runs means the comparison is vacuous (typically a
+// format mismatch: -json baselines carry package-qualified keys, plain
+// text does not), so the caller must fail instead of passing.
+func Common(old, cur map[string]BenchResult) int {
+	n := 0
+	for name := range old {
+		if _, ok := cur[name]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Missing returns the names present in old but absent from cur, sorted: a
+// deleted benchmark silently shrinks coverage, so the caller surfaces it.
+func Missing(old, cur map[string]BenchResult) []string {
+	var out []string
+	for name := range old {
+		if _, ok := cur[name]; !ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

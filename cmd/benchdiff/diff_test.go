@@ -1,0 +1,126 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const jsonStream = `{"Action":"start","Package":"gncg"}
+{"Action":"output","Package":"gncg","Output":"goos: linux\n"}
+{"Action":"output","Package":"gncg","Output":"BenchmarkFast-8   \t       1\t    500000 ns/op\t  1000 B/op\t      50 allocs/op\n"}
+{"Action":"output","Package":"gncg","Output":"BenchmarkSlow-8   \t       1\t 100000000 ns/op\t  2000 B/op\t    5000 allocs/op\n"}
+{"Action":"output","Package":"gncg","Output":"BenchmarkMetric-8 \t       2\t  60000000 ns/op\t         1.500 poa\n"}
+{"Action":"output","Package":"gncg","Test":"BenchmarkSplit","Output":"BenchmarkSplit\n"}
+{"Action":"output","Package":"gncg","Test":"BenchmarkSplit","Output":"       1\t  70000000 ns/op\t  12 allocs/op\n"}
+{"Action":"output","Package":"gncg/internal/graph","Output":"BenchmarkFast-8   \t       1\t    900000 ns/op\n"}
+{"Action":"output","Package":"gncg","Output":"ok  \tgncg\t1.2s\n"}
+`
+
+func TestParseBenchJSONStream(t *testing.T) {
+	res, err := ParseBench(strings.NewReader(jsonStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(res))
+	}
+	// A result event whose Output omits the name (go test -json splits it
+	// into a separate write) must fall back to the event's Test field.
+	if res["gncg.BenchmarkSplit"].Metrics["ns/op"] != 70000000 || res["gncg.BenchmarkSplit"].Metrics["allocs/op"] != 12 {
+		t.Fatalf("split result event parsed wrong: %v", res["gncg.BenchmarkSplit"].Metrics)
+	}
+	fast, ok := res["gncg.BenchmarkFast"]
+	if !ok {
+		t.Fatal("gncg.BenchmarkFast missing (GOMAXPROCS suffix not stripped?)")
+	}
+	if fast.Metrics["ns/op"] != 500000 || fast.Metrics["allocs/op"] != 50 {
+		t.Fatalf("BenchmarkFast metrics wrong: %v", fast.Metrics)
+	}
+	if res["gncg.BenchmarkMetric"].Metrics["poa"] != 1.5 {
+		t.Fatalf("custom metric lost: %v", res["gncg.BenchmarkMetric"].Metrics)
+	}
+	// Same-named benchmarks in different packages must not collide.
+	if res["gncg/internal/graph.BenchmarkFast"].Metrics["ns/op"] != 900000 {
+		t.Fatalf("cross-package benchmark collided: %v", res)
+	}
+}
+
+func TestParseBenchPlainText(t *testing.T) {
+	plain := "goos: linux\nBenchmarkX-4   10   2000 ns/op   100 B/op   3 allocs/op\nPASS\n"
+	res, err := ParseBench(strings.NewReader(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res["BenchmarkX"].Metrics["ns/op"] != 2000 {
+		t.Fatalf("plain-text parse wrong: %v", res)
+	}
+}
+
+func bench(ns, allocs float64) BenchResult {
+	m := map[string]float64{"ns/op": ns}
+	if allocs >= 0 {
+		m["allocs/op"] = allocs
+	}
+	return BenchResult{Metrics: m}
+}
+
+func TestCompareThresholds(t *testing.T) {
+	th := DefaultThresholds()
+	old := map[string]BenchResult{
+		"A": bench(60e6, 100),    // time 5x worse and above floor -> flagged
+		"B": bench(1e6, 100),     // time 10x worse but under 50ms floor -> ignored
+		"C": bench(60e6, 100000), // allocs +50% -> flagged
+		"D": bench(60e6, 100),    // small alloc delta under floor -> ignored
+		"E": bench(60e6, 100),    // improved -> ignored
+		"F": bench(60e6, -1),     // no allocs metric -> time only
+		"G": bench(60e6, 100),    // missing in new -> not a regression
+	}
+	cur := map[string]BenchResult{
+		"A": bench(300e6, 100),
+		"B": bench(10e6, 100),
+		"C": bench(60e6, 150000),
+		"D": bench(60e6, 600),
+		"E": bench(10e6, 50),
+		"F": bench(61e6, 123),
+		"H": bench(1e9, 1e9), // new benchmark -> not a regression
+	}
+	regs := Compare(old, cur, th)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions %v, want 2", len(regs), regs)
+	}
+	if regs[0].Name != "A" || regs[0].Metric != "ns/op" {
+		t.Fatalf("first regression = %v, want A ns/op", regs[0])
+	}
+	if regs[1].Name != "C" || regs[1].Metric != "allocs/op" {
+		t.Fatalf("second regression = %v, want C allocs/op", regs[1])
+	}
+	missing := Missing(old, cur)
+	if len(missing) != 1 || missing[0] != "G" {
+		t.Fatalf("missing = %v, want [G]", missing)
+	}
+}
+
+func TestCommonCountsOverlap(t *testing.T) {
+	old := map[string]BenchResult{"gncg.BenchmarkA": bench(1, 1), "gncg.BenchmarkB": bench(1, 1)}
+	cur := map[string]BenchResult{"BenchmarkA": bench(1, 1), "BenchmarkB": bench(1, 1)}
+	// Format mismatch (qualified vs bare keys): zero overlap, which the
+	// CLI must treat as an error rather than a vacuous pass.
+	if got := Common(old, cur); got != 0 {
+		t.Fatalf("Common across formats = %d, want 0", got)
+	}
+	if got := Common(old, old); got != 2 {
+		t.Fatalf("Common self = %d, want 2", got)
+	}
+}
+
+func TestCompareBoundaryConditions(t *testing.T) {
+	th := Thresholds{TimeRatio: 2, TimeFloor: 0, AllocRatio: 1.1, AllocFloor: 0}
+	old := map[string]BenchResult{"X": bench(100, 10)}
+	// Exactly at the ratio is not a regression (strict >).
+	if regs := Compare(old, map[string]BenchResult{"X": bench(200, 11)}, th); len(regs) != 0 {
+		t.Fatalf("boundary flagged: %v", regs)
+	}
+	if regs := Compare(old, map[string]BenchResult{"X": bench(201, 12)}, th); len(regs) != 2 {
+		t.Fatalf("past-boundary not flagged: %v", regs)
+	}
+}

@@ -1,0 +1,82 @@
+// Command benchdiff compares two benchmark runs and fails on large
+// regressions: the CI perf-trajectory gate. Inputs are either `go test
+// -json` event streams (the BENCH_baseline.json artifacts CI uploads per
+// run) or plain `go test -bench` text output.
+//
+// Usage:
+//
+//	benchdiff -old prev/BENCH_baseline.json -new BENCH_baseline.json
+//
+// Time comparisons are benchstat-flavoured but tuned for 1x-iteration
+// smoke runs: a benchmark regresses only if it got both much slower
+// (default 4x) and absolutely slow (default 50ms), which filters the
+// noise floor of single-iteration timings across runners. Allocation
+// counts are deterministic, so allocs/op is compared tightly (default
+// +25% and +1000 allocs). Exit status: 0 = no regressions, 1 =
+// regressions found, 2 = usage or parse error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline benchmark output (go test -json or plain text)")
+	newPath := flag.String("new", "", "fresh benchmark output to compare against the baseline")
+	timeRatio := flag.Float64("time-ratio", DefaultThresholds().TimeRatio, "ns/op regression ratio")
+	timeFloor := flag.Float64("time-floor", DefaultThresholds().TimeFloor, "ns/op absolute floor below which time regressions are ignored")
+	allocRatio := flag.Float64("alloc-ratio", DefaultThresholds().AllocRatio, "allocs/op regression ratio")
+	allocFloor := flag.Float64("alloc-floor", DefaultThresholds().AllocFloor, "allocs/op absolute delta floor")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -old baseline.json -new fresh.json")
+		os.Exit(2)
+	}
+	old, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	common := Common(old, cur)
+	fmt.Printf("benchdiff: %d baseline benchmarks, %d fresh, %d common\n", len(old), len(cur), common)
+	if common == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark names in common — comparing different formats? (-json baselines key by package.Benchmark, plain text by bare name)")
+		os.Exit(2)
+	}
+	for _, name := range Missing(old, cur) {
+		fmt.Printf("MISSING %s (present in baseline, absent in fresh run)\n", name)
+	}
+	th := Thresholds{TimeRatio: *timeRatio, TimeFloor: *timeFloor, AllocRatio: *allocRatio, AllocFloor: *allocFloor}
+	regs := Compare(old, cur, th)
+	for _, r := range regs {
+		fmt.Println(r)
+	}
+	if len(regs) > 0 {
+		fmt.Printf("benchdiff: %d regression(s)\n", len(regs))
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}
+
+func parseFile(path string) (map[string]BenchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := ParseBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return res, nil
+}

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"gncg/internal/sweep"
@@ -33,7 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "thm1", "lemmas", "approx", "fig2", "thm5", "fig3", "thm9",
 		"thm10", "thm11", "thm12", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "thm18", "fig10", "thm20", "conj1", "ncg", "oneinf",
-		"empirical", "pos", "table1",
+		"empirical", "pos", "table1", "scale",
 	}
 	if got := len(sweep.All()); got != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", got, len(want))
@@ -82,6 +85,89 @@ func TestExperimentsShardDeterminism(t *testing.T) {
 	}
 	if merged.String() != refJSON.String() {
 		t.Fatal("merged 2-shard JSON differs from unsharded run")
+	}
+}
+
+// TestMergeSubcommandRoundTrip drives the merge subcommand end-to-end on
+// real experiments: K shard JSON files merged through mergeMain must be
+// byte-identical to the unsharded run's output.
+func TestMergeSubcommandRoundTrip(t *testing.T) {
+	exps := selectCheap(t)
+	ref, err := sweep.Run(exps, sweep.Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refJSON, refCSV bytes.Buffer
+	if err := ref.EncodeJSON(&refJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.EncodeCSV(&refCSV); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	const shards = 3
+	var files []string
+	for shard := 0; shard < shards; shard++ {
+		rs, err := sweep.Run(exps, sweep.Config{Quick: true, Shards: shards, Shard: shard})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("shard%d.json", shard))
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.EncodeJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, path)
+	}
+	// Pass shards out of order and one duplicated: Merge dedups by seq.
+	args := []string{
+		"-out", filepath.Join(dir, "merged.json"),
+		"-csv", filepath.Join(dir, "merged.csv"),
+		files[2], files[0], files[1], files[0],
+	}
+	var stderr bytes.Buffer
+	if code := mergeMain(args, &stderr); code != 0 {
+		t.Fatalf("mergeMain exited %d: %s", code, stderr.String())
+	}
+	gotJSON, err := os.ReadFile(filepath.Join(dir, "merged.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != refJSON.String() {
+		t.Fatal("merged JSON differs from unsharded run")
+	}
+	gotCSV, err := os.ReadFile(filepath.Join(dir, "merged.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotCSV) != refCSV.String() {
+		t.Fatal("merged CSV differs from unsharded run")
+	}
+}
+
+func TestMergeSubcommandErrors(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := mergeMain(nil, &stderr); code != 2 {
+		t.Fatalf("merge with no inputs exited %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := mergeMain([]string{"no-such-file.json"}, &stderr); code != 1 {
+		t.Fatalf("merge of missing file exited %d, want 1", code)
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if code := mergeMain([]string{bad}, &stderr); code != 1 {
+		t.Fatalf("merge of invalid file exited %d, want 1", code)
 	}
 }
 

@@ -15,12 +15,17 @@
 //	experiments -quick                 # smaller size ladders (CI-friendly)
 //	experiments -out results.json      # deterministic JSON results
 //	experiments -csv results.csv       # long-format CSV results
-//	experiments -shards 8 -shard 0     # run shard 0 of 8 (merge = concat JSON cells)
+//	experiments -shards 8 -shard 0     # run shard 0 of 8
 //	experiments -workers 4             # bound cell-level parallelism
+//
+//	experiments merge -out merged.json shard0.json shard1.json ...
+//	                                   # combine shard outputs (sweep.Merge)
 //
 // Sharded runs of the same selection are deterministic: the merged output
 // of all K shards is byte-identical to an unsharded run, for any K and
-// any worker count.
+// any worker count. The merge subcommand decodes shard JSON files,
+// deduplicates and reorders cells by global sequence number, and
+// re-encodes — no manual JSON surgery required.
 package main
 
 import (
@@ -41,6 +46,9 @@ var registerOnce sync.Once
 func ensureRegistered() { registerOnce.Do(registerAll) }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "merge" {
+		os.Exit(mergeMain(os.Args[2:], os.Stderr))
+	}
 	list := flag.Bool("list", false, "list experiment ids, tags and cell counts, then exit")
 	quick := flag.Bool("quick", false, "smaller size ladders")
 	run := flag.String("run", "", "comma-separated experiment names and/or tags (default: all)")
@@ -121,6 +129,57 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// mergeMain implements the merge subcommand: decode shard JSON outputs,
+// combine them with sweep.Merge and re-encode. Merging all K shards of a
+// run reproduces the unsharded output byte-for-byte.
+func mergeMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	outPath := fs.String("out", "-", "write merged JSON to this file ('-' = stdout)")
+	csvPath := fs.String("csv", "", "write merged long-format CSV to this file ('-' = stdout)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: experiments merge [-out merged.json] [-csv merged.csv] shard.json...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		fs.Usage()
+		return 2
+	}
+	if *outPath == "-" && *csvPath == "-" {
+		fmt.Fprintln(stderr, "-out - and -csv - cannot share stdout")
+		return 2
+	}
+	var sets []*sweep.ResultSet
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		rs, err := sweep.DecodeJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", path, err)
+			return 1
+		}
+		sets = append(sets, rs)
+	}
+	merged := sweep.Merge(sets...)
+	if err := writeOut(*outPath, merged.EncodeJSON); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if err := writeOut(*csvPath, merged.EncodeCSV); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
 }
 
 func writeOut(path string, encode func(w io.Writer) error) error {

@@ -17,6 +17,9 @@ func TestRemainingFacadeSurface(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if m := DensifyHost(host); m[0][1] != host.Weight(0, 1) || &m[0][0] != &host.Matrix()[0][0] {
+		t.Fatal("DensifyHost must return the host's shared memoized dense view")
+	}
 	g := NewGame(host, 1)
 	p := ProfileFromEdgeSet(3, []Edge{{U: 0, V: 1}, {U: 2, V: 1}})
 	if !p.Buys(0, 1) || !p.Buys(1, 2) || p.Buys(2, 1) {

@@ -14,6 +14,15 @@
 // construction in the paper's proofs. The cmd/experiments tool and the
 // root benchmark suite regenerate the paper's Table 1 and Figures 1-10.
 //
+// Hosts are lazy: a Host wraps its distance space (points under a p-norm,
+// a tree metric, a {1,2}/{1,∞}/unit host, or an explicit matrix) and
+// computes weights on demand, so building a game on an n-point geometric
+// host costs O(n) memory — 10k+ agents are practical. Classification and
+// metricity checks answer structurally in O(1) for implicit spaces. The
+// dense O(n²) matrix exists only after an explicit DensifyHost /
+// Host.Matrix call and is memoized and shared; callers must not mutate
+// it.
+//
 // Quick start:
 //
 //	host, _ := gncg.HostFromPoints([][]float64{{0, 0}, {3, 0}, {0, 4}}, 2)
@@ -142,13 +151,23 @@ func HostFromOneInf(n int, oneEdges [][2]int) (*Host, error) {
 func UnitHost(n int) *Host { return game.NewHost(metric.Unit{N: n}) }
 
 // ClassifyHost returns the most specific model class of the host within
-// tolerance eps.
+// tolerance eps. Hosts built from implicit spaces (points, trees, unit,
+// {1,2}, {1,∞}) answer structurally in O(1); matrix-backed hosts run the
+// dense validators over their memoized view.
 func ClassifyHost(h *Host, eps float64) ModelClass { return h.Classify(eps) }
 
-// IsMetricHost reports whether the host satisfies the triangle inequality.
-func IsMetricHost(h *Host, eps float64) bool {
-	return metric.IsMetric(h.Matrix(), eps)
-}
+// IsMetricHost reports whether the host satisfies the triangle
+// inequality, structurally in O(1) where the backing space allows it (see
+// ClassifyHost) and via the dense O(n³) validator otherwise.
+func IsMetricHost(h *Host, eps float64) bool { return h.IsMetric(eps) }
+
+// DensifyHost materializes and memoizes the host's dense weight matrix:
+// O(n²) memory, an explicit opt-in for code that genuinely needs the full
+// matrix. Hosts never densify on their own — Weight, costs, dynamics and
+// classification of implicit spaces all run lazily in O(n) host memory.
+// The returned matrix is shared with the host; callers must not mutate
+// it.
+func DensifyHost(h *Host) [][]float64 { return h.Densify() }
 
 // Validate sanity-checks a profile against a game (sizes, self-loops are
 // impossible by construction; this confirms dimensions for deserialized

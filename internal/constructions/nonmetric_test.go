@@ -14,7 +14,7 @@ func TestThm20TriangleIsNonMetric(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if metric.IsMetric(lb.Game.Host.Matrix(), 1e-9) {
+	if lb.Game.Host.IsMetric(1e-9) {
 		t.Fatal("Thm 20 triangle must violate the triangle inequality")
 	}
 }
@@ -76,17 +76,32 @@ func TestFig8GameShape(t *testing.T) {
 	if got := g.Host.Weight(4, 9); got != 1 {
 		t.Fatalf("w(a4,a9) = %v, want 1", got)
 	}
-	// The host must be metric (it is a 1-norm point set).
-	if !metric.IsMetric(g.Host.Matrix(), 1e-9) {
+	// The host must be metric (it is a 1-norm point set). Structural and
+	// dense answers must agree.
+	if !g.Host.IsMetric(1e-9) {
 		t.Fatal("Fig 8 host not metric")
+	}
+	if !metric.IsMetric(g.Host.Densify(), 1e-9) {
+		t.Fatal("Fig 8 host dense view not metric")
 	}
 }
 
-func TestFig8CoordinatesImmutable(t *testing.T) {
-	g1 := Fig8Game(1)
-	g1.Host.Matrix()[0][1] = 999 // abuse: mutate one game's matrix
-	g2 := Fig8Game(1)
-	if g2.Host.Weight(0, 1) != 6 {
-		t.Fatal("Fig8Game instances share coordinate storage")
+// TestFig8InstancesIndependent: separate Fig8Game calls must not share
+// host storage — their dense views are distinct allocations with equal
+// content. (A previous version of this test mutated one host's matrix to
+// probe for sharing, which the Matrix()/Densify() contract now forbids;
+// see TestMatrixDensifyAliasing in internal/game.)
+func TestFig8InstancesIndependent(t *testing.T) {
+	m1 := Fig8Game(1).Host.Matrix()
+	m2 := Fig8Game(1).Host.Matrix()
+	if &m1[0][0] == &m2[0][0] {
+		t.Fatal("Fig8Game instances share dense-view storage")
+	}
+	for i := range m1 {
+		for j := range m1[i] {
+			if m1[i][j] != m2[i][j] {
+				t.Fatalf("Fig8Game instances disagree at w(%d,%d)", i, j)
+			}
+		}
 	}
 }

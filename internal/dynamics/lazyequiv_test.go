@@ -1,0 +1,86 @@
+package dynamics
+
+import (
+	"testing"
+
+	"gncg/internal/game"
+	"gncg/internal/gen"
+	"gncg/internal/metric"
+)
+
+// lazyDensePair builds the same game twice: once on the lazy implicit
+// space and once on its explicit matrix-backed densification.
+func lazyDensePair(t *testing.T, sp metric.Space, alpha float64) (*game.Game, *game.Game) {
+	t.Helper()
+	dense, err := game.HostFromMatrix(metric.Matrix(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return game.New(game.NewHost(sp), alpha), game.New(dense, alpha)
+}
+
+// runTrace runs greedy dynamics from a star seed and returns the result.
+func runTrace(g *game.Game, mover Mover, maxMoves int) (Result, float64) {
+	s := game.NewState(g, game.StarProfile(g.N(), 0))
+	res := Run(s, mover, RoundRobin{}, maxMoves)
+	return res, s.SocialCost()
+}
+
+// TestLazyDenseDynamicsTraceEquivalence: dynamics are a pure function of
+// the weight function, so a lazy host and its densified copy must produce
+// the exact same move trace — same outcome, same movers in the same
+// order, same strategies — and the same final social cost.
+func TestLazyDenseDynamicsTraceEquivalence(t *testing.T) {
+	type instance struct {
+		kind  string
+		sp    metric.Space
+		alpha float64
+	}
+	var instances []instance
+	for seed := int64(0); seed < 4; seed++ {
+		n := 6 + int(seed)
+		instances = append(instances,
+			instance{"points-l2", gen.Points(seed, n, 2, 10, 2), 0.7 + float64(seed)*0.6},
+			instance{"tree", gen.Tree(seed, n, 1.1, 5.7), 1 + float64(seed)*0.4},
+			instance{"one-two", gen.OneTwo(seed, n, 0.4), 0.5 + float64(seed)*0.9},
+		)
+	}
+	for _, ins := range instances {
+		lg, dg := lazyDensePair(t, ins.sp, ins.alpha)
+		lres, lsc := runTrace(lg, GreedyMover, 400)
+		dres, dsc := runTrace(dg, GreedyMover, 400)
+		if lres.Outcome != dres.Outcome || lres.Moves != dres.Moves || lres.Rounds != dres.Rounds {
+			t.Fatalf("%s alpha %v: outcome lazy (%v,%d moves,%d rounds) != dense (%v,%d moves,%d rounds)",
+				ins.kind, ins.alpha, lres.Outcome, lres.Moves, lres.Rounds, dres.Outcome, dres.Moves, dres.Rounds)
+		}
+		if len(lres.History) != len(dres.History) {
+			t.Fatalf("%s alpha %v: trace length lazy %d != dense %d", ins.kind, ins.alpha, len(lres.History), len(dres.History))
+		}
+		for i := range lres.History {
+			lt, dt := lres.History[i], dres.History[i]
+			if lt.Agent != dt.Agent || len(lt.Strategy) != len(dt.Strategy) {
+				t.Fatalf("%s alpha %v: trace step %d lazy %+v != dense %+v", ins.kind, ins.alpha, i, lt, dt)
+			}
+			for j := range lt.Strategy {
+				if lt.Strategy[j] != dt.Strategy[j] {
+					t.Fatalf("%s alpha %v: trace step %d lazy %+v != dense %+v", ins.kind, ins.alpha, i, lt, dt)
+				}
+			}
+		}
+		if lsc != dsc {
+			t.Fatalf("%s alpha %v: final social cost lazy %v != dense %v", ins.kind, ins.alpha, lsc, dsc)
+		}
+	}
+}
+
+// TestLazyDenseBestResponseTraceEquivalence repeats the trace check with
+// the exact best-response oracle on a small geometric instance.
+func TestLazyDenseBestResponseTraceEquivalence(t *testing.T) {
+	lg, dg := lazyDensePair(t, gen.Points(11, 6, 2, 10, 2), 1.3)
+	lres, lsc := runTrace(lg, BestResponseMover, 300)
+	dres, dsc := runTrace(dg, BestResponseMover, 300)
+	if lres.Outcome != dres.Outcome || lres.Moves != dres.Moves || lsc != dsc {
+		t.Fatalf("best-response trace diverged: lazy (%v,%d,%v) dense (%v,%d,%v)",
+			lres.Outcome, lres.Moves, lsc, dres.Outcome, dres.Moves, dsc)
+	}
+}

@@ -21,6 +21,8 @@ package game
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"gncg/internal/metric"
 )
@@ -30,19 +32,33 @@ import (
 const DefaultEps = 1e-9
 
 // Host is a complete weighted host graph: symmetric non-negative weights
-// with zero diagonal. +Inf weights encode unbuyable pairs (1-∞–GNCG).
+// with zero diagonal, backed directly by a metric.Space. Weights are
+// computed lazily — constructing a host is O(1) beyond the space itself,
+// so implicit spaces (points in R^d, tree metrics, unit/{1,2}/{1,∞}
+// hosts) support 10k+ agents in O(n) memory. +Inf weights encode
+// unbuyable pairs (1-∞–GNCG).
+//
+// A dense view exists only on explicit request (Densify / Matrix) and is
+// memoized on the host. Hosts are safe for concurrent reads.
 type Host struct {
-	n int
-	w [][]float64
+	n     int
+	space metric.Space
+
+	denseOnce sync.Once
+	dense     atomic.Pointer[[][]float64]
 }
 
-// NewHost materializes a metric.Space into a host graph.
+// NewHost wraps a metric.Space as a host graph. The space is used as-is
+// (not copied) and must not be mutated afterwards; no dense matrix is
+// materialized.
 func NewHost(s metric.Space) *Host {
-	return &Host{n: s.Size(), w: metric.Matrix(s)}
+	return &Host{n: s.Size(), space: s}
 }
 
 // HostFromMatrix wraps an explicit weight matrix, validating it through
-// metric.FromMatrix.
+// metric.FromMatrix. The host takes ownership of the matrix — callers
+// must not mutate it afterwards (the matrix doubles as the host's dense
+// view).
 func HostFromMatrix(w [][]float64) (*Host, error) {
 	s, err := metric.FromMatrix(w)
 	if err != nil {
@@ -54,15 +70,82 @@ func HostFromMatrix(w [][]float64) (*Host, error) {
 // N returns the number of agents.
 func (h *Host) N() int { return h.n }
 
-// Weight returns w(u,v).
-func (h *Host) Weight(u, v int) float64 { return h.w[u][v] }
+// Space returns the backing metric.Space.
+func (h *Host) Space() metric.Space { return h.space }
 
-// Matrix returns the underlying weight matrix (not a copy; callers must
-// not mutate it).
-func (h *Host) Matrix() [][]float64 { return h.w }
+// Weight returns w(u,v). It reads the memoized dense view when one
+// exists and otherwise computes the distance from the backing space.
+func (h *Host) Weight(u, v int) float64 {
+	if m := h.dense.Load(); m != nil {
+		return (*m)[u][v]
+	}
+	return h.space.Dist(u, v)
+}
 
-// Classify places the host in the paper's model hierarchy.
-func (h *Host) Classify(eps float64) metric.Class { return metric.Classify(h.w, eps) }
+// Densify materializes and memoizes the dense weight matrix: O(n²) memory
+// and construction time on first call, O(1) afterwards. Spaces that
+// already hold a dense matrix (matrix-backed hosts) are reused without
+// copying. The returned matrix is the host's single shared dense view —
+// callers must treat it as immutable; see also Matrix.
+func (h *Host) Densify() [][]float64 {
+	h.denseOnce.Do(func() {
+		var m [][]float64
+		if d, ok := h.space.(metric.Dense); ok {
+			m = d.DenseMatrix()
+		} else {
+			m = metric.Matrix(h.space)
+		}
+		h.dense.Store(&m)
+	})
+	return *h.dense.Load()
+}
+
+// Matrix returns the host's dense weight matrix. It is an alias for
+// Densify: the first call on a lazily-backed host pays the O(n²)
+// materialization, and every call returns the same shared, memoized view.
+// Callers must not mutate it.
+func (h *Host) Matrix() [][]float64 { return h.Densify() }
+
+// Classify places the host in the paper's model hierarchy. Spaces with
+// the metric.Classifier capability (points, trees, unit, {1,2}, {1,∞})
+// answer structurally in O(1) without densification; matrix-backed hosts
+// fall back to the dense validator over the memoized view.
+func (h *Host) Classify(eps float64) metric.Class {
+	if c, ok := h.space.(metric.Classifier); ok {
+		return c.Class(eps)
+	}
+	return metric.Classify(h.Densify(), eps)
+}
+
+// IsMetric reports whether the host satisfies the triangle inequality,
+// via the metric.Classifier capability in O(1) when the space has one and
+// the dense O(n³) validator otherwise.
+func (h *Host) IsMetric(eps float64) bool {
+	if c, ok := h.space.(metric.Classifier); ok {
+		return c.Metric(eps)
+	}
+	return metric.IsMetric(h.Densify(), eps)
+}
+
+// ForEachFinitePair calls fn for every unordered pair u < v with finite
+// weight, in ascending (u,v) order: the buyable-pair iteration used by
+// MST/optimum/spanner code. Sparse spaces ({1,∞} hosts) enumerate only
+// their finite pairs; dense and implicit spaces are scanned without
+// allocation.
+func (h *Host) ForEachFinitePair(fn func(u, v int, w float64)) {
+	if m := h.dense.Load(); m != nil {
+		for u := 0; u < h.n; u++ {
+			row := (*m)[u]
+			for v := u + 1; v < h.n; v++ {
+				if w := row[v]; !math.IsInf(w, 1) {
+					fn(u, v, w)
+				}
+			}
+		}
+		return
+	}
+	metric.ForEachFinitePair(h.space, fn)
+}
 
 // Game couples a host graph with the edge-price parameter α > 0 and the
 // strict-improvement tolerance Eps.

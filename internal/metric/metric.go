@@ -4,9 +4,23 @@
 // (Rd–GNCG), {1,∞} weights (1-∞–GNCG) and unit weights (the original NCG).
 //
 // A Space yields the weight of the complete host graph's edge (i,j). The
-// game engine consumes spaces through an explicit symmetric matrix (see
-// Matrix), so spaces only need to produce pairwise distances; validators
-// classify a matrix back into the model hierarchy.
+// game engine consumes spaces directly and lazily — distances are computed
+// on demand, so implicit spaces (points under a p-norm, tree metrics, unit
+// and {1,2}/{1,∞} hosts) never materialize their O(n²) matrix unless a
+// caller explicitly asks for a dense view via Matrix.
+//
+// Spaces can advertise optional capabilities the engine queries instead of
+// scanning a dense matrix:
+//
+//   - Classifier: the space knows its Fig. 1 class and metricity
+//     structurally, in O(1) (points, trees, unit, {1,2}, {1,∞}).
+//   - FinitePairer: the space enumerates its finite (buyable) pairs
+//     without touching +Inf entries ({1,∞} hosts).
+//   - Dense: the space already holds a dense matrix, so densification can
+//     reuse it instead of copying (matrix-backed spaces).
+//
+// ClassifySpace and IsMetricSpace consult these capabilities and fall back
+// to the dense validators (Classify, IsMetric) otherwise.
 package metric
 
 import (
@@ -26,8 +40,91 @@ type Space interface {
 	Dist(i, j int) float64
 }
 
-// Matrix materializes a space as a dense symmetric matrix. All game-side
-// code works on matrices.
+// Classifier is the structural-classification capability: a space that
+// knows its position in the paper's Fig. 1 hierarchy by construction, in
+// O(1), without inspecting pairwise distances.
+//
+// Class returns the most specific class guaranteed by the space's
+// structure. A realized instance may incidentally lie in an even smaller
+// class — e.g. a unit-weight star's tree metric happens to be a {1,2}
+// metric — which only dense inspection (Classify on a matrix) detects;
+// structural answers are exact for unit, {1,2} and {1,∞} spaces and
+// top out at ClassMetric for point and tree spaces.
+type Classifier interface {
+	Class(eps float64) Class
+	// Metric reports whether the space satisfies the triangle inequality.
+	Metric(eps float64) bool
+}
+
+// FinitePairer is the sparse-iteration capability: a space whose finite
+// pairs form a strict (typically sparse) subset of all pairs, such as a
+// {1,∞} host. ForEachFinitePair calls fn exactly once for every unordered
+// pair u < v with finite weight, in ascending (u,v) order — the order is
+// part of the contract so downstream consumers (MST, candidate sets) stay
+// deterministic.
+type FinitePairer interface {
+	ForEachFinitePair(fn func(u, v int, w float64))
+}
+
+// Dense is the pre-materialized capability: a space that already holds its
+// dense symmetric matrix. Densification reuses the returned matrix rather
+// than copying it, so callers must treat it as immutable.
+type Dense interface {
+	DenseMatrix() [][]float64
+}
+
+// ClassifySpace returns the space's model class, using the Classifier
+// capability in O(1) when present and falling back to materializing the
+// matrix and running the dense validator (O(n²) space, O(n³) time)
+// otherwise.
+func ClassifySpace(s Space, eps float64) Class {
+	if c, ok := s.(Classifier); ok {
+		return c.Class(eps)
+	}
+	return Classify(denseOf(s), eps)
+}
+
+// IsMetricSpace reports whether the space satisfies the triangle
+// inequality, using the Classifier capability in O(1) when present and the
+// dense validator otherwise.
+func IsMetricSpace(s Space, eps float64) bool {
+	if c, ok := s.(Classifier); ok {
+		return c.Metric(eps)
+	}
+	return IsMetric(denseOf(s), eps)
+}
+
+// ForEachFinitePair calls fn for every unordered pair u < v with finite
+// weight, in ascending (u,v) order. Spaces with the FinitePairer
+// capability enumerate only their finite pairs; otherwise every pair is
+// visited and +Inf entries are skipped — O(n²) time but no allocation.
+func ForEachFinitePair(s Space, fn func(u, v int, w float64)) {
+	if fp, ok := s.(FinitePairer); ok {
+		fp.ForEachFinitePair(fn)
+		return
+	}
+	n := s.Size()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if w := s.Dist(u, v); !math.IsInf(w, 1) {
+				fn(u, v, w)
+			}
+		}
+	}
+}
+
+// denseOf returns the space's dense matrix, reusing pre-materialized
+// storage when the space advertises it.
+func denseOf(s Space) [][]float64 {
+	if d, ok := s.(Dense); ok {
+		return d.DenseMatrix()
+	}
+	return Matrix(s)
+}
+
+// Matrix materializes a space as a dense symmetric matrix: O(n²) memory
+// and construction time. Engine code no longer requires dense hosts;
+// this remains for validators, interchange and explicit densification.
 func Matrix(s Space) [][]float64 {
 	n := s.Size()
 	w := make([][]float64, n)
@@ -73,6 +170,10 @@ func FromMatrix(w [][]float64) (Space, error) {
 func (m matrixSpace) Size() int             { return len(m.w) }
 func (m matrixSpace) Dist(i, j int) float64 { return m.w[i][j] }
 
+// DenseMatrix exposes the wrapped matrix (Dense capability); callers must
+// not mutate it.
+func (m matrixSpace) DenseMatrix() [][]float64 { return m.w }
+
 // Unit is the unit-weight space on n points: the host graph of the
 // original Network Creation Game of Fabrikant et al.
 type Unit struct{ N int }
@@ -86,6 +187,13 @@ func (u Unit) Dist(i, j int) float64 {
 	}
 	return 1
 }
+
+// Class reports ClassUnit: the original NCG (Classifier capability).
+func (u Unit) Class(eps float64) Class { return ClassUnit }
+
+// Metric reports true: unit weights always satisfy the triangle
+// inequality.
+func (u Unit) Metric(eps float64) bool { return true }
 
 // Closure returns the metric closure of a connected weighted graph: the
 // space whose distance is the shortest-path distance in g. If g is

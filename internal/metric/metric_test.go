@@ -238,6 +238,148 @@ func TestClosure(t *testing.T) {
 	}
 }
 
+// TestStructuralClassifiers: spaces with the Classifier capability must
+// answer in O(1) and, for the exactly-classifiable families (unit, {1,2},
+// {1,∞}), agree with dense classification of their materialized matrix.
+func TestStructuralClassifiers(t *testing.T) {
+	partialOT, err := NewOneTwo(4, [][2]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	completeOT, err := NewOneTwo(3, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partialOI, err := NewOneInf(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	completeOI, err := NewOneInf(3, [][2]int{{0, 1}, {0, 2}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		s     Space
+		class Class
+		isMet bool
+	}{
+		{"unit", Unit{N: 5}, ClassUnit, true},
+		{"one-two partial", partialOT, ClassOneTwo, true},
+		{"one-two complete (degenerates to unit)", completeOT, ClassUnit, true},
+		{"one-inf partial", partialOI, ClassOneInf, false},
+		{"one-inf complete (degenerates to unit)", completeOI, ClassUnit, true},
+	}
+	for _, c := range cases {
+		cl, ok := c.s.(Classifier)
+		if !ok {
+			t.Fatalf("%s: missing Classifier capability", c.name)
+		}
+		if got := cl.Class(1e-9); got != c.class {
+			t.Errorf("%s: structural class %v, want %v", c.name, got, c.class)
+		}
+		if got := cl.Metric(1e-9); got != c.isMet {
+			t.Errorf("%s: structural metric %v, want %v", c.name, got, c.isMet)
+		}
+		// Exact families must agree with the dense validators.
+		m := Matrix(c.s)
+		if got := Classify(m, 1e-9); got != c.class {
+			t.Errorf("%s: dense class %v disagrees with structural %v", c.name, got, c.class)
+		}
+		if got := IsMetric(m, 1e-9); got != c.isMet {
+			t.Errorf("%s: dense metric %v disagrees with structural %v", c.name, got, c.isMet)
+		}
+		if ClassifySpace(c.s, 1e-9) != c.class || IsMetricSpace(c.s, 1e-9) != c.isMet {
+			t.Errorf("%s: ClassifySpace/IsMetricSpace do not use the capability answer", c.name)
+		}
+	}
+	// Point sets and tree closures answer their guaranteed class.
+	pts, err := NewPoints([][]float64{{0, 0}, {3.1, 0}, {0, 4.2}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ClassifySpace(pts, 1e-9) != ClassMetric || !IsMetricSpace(pts, 1e-9) {
+		t.Error("point space must classify structurally as M-GNCG")
+	}
+	tm, err := NewTreeMetric(3, []graph.Edge{{U: 0, V: 1, W: 1.3}, {U: 1, V: 2, W: 2.6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ClassifySpace(tm, 1e-9) != ClassMetric || !IsMetricSpace(tm, 1e-9) {
+		t.Error("tree metric must classify structurally as M-GNCG")
+	}
+}
+
+// TestClassifySpaceFallback: matrix-backed spaces carry no Classifier and
+// must fall back to the dense validators, reusing their stored matrix via
+// the Dense capability.
+func TestClassifySpaceFallback(t *testing.T) {
+	w := [][]float64{{0, 0.5, 10}, {0.5, 0, 1}, {10, 1, 0}}
+	s, err := FromMatrix(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(Classifier); ok {
+		t.Fatal("matrix space should not claim structural classification")
+	}
+	if ClassifySpace(s, 1e-9) != ClassGeneral {
+		t.Error("fallback classification wrong")
+	}
+	if IsMetricSpace(s, 1e-9) {
+		t.Error("fallback metricity wrong")
+	}
+	d, ok := s.(Dense)
+	if !ok {
+		t.Fatal("matrix space must advertise its dense matrix")
+	}
+	if m := d.DenseMatrix(); &m[0][0] != &w[0][0] {
+		t.Error("DenseMatrix must reuse the wrapped storage, not copy")
+	}
+}
+
+// TestForEachFinitePair: the sparse capability and the dense fallback must
+// both enumerate exactly the finite pairs, ascending.
+func TestForEachFinitePair(t *testing.T) {
+	oi, err := NewOneInf(4, [][2]int{{2, 3}, {0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Space(oi).(FinitePairer); !ok {
+		t.Fatal("1-inf space must advertise sparse finite-pair iteration")
+	}
+	collect := func(s Space) (pairs [][2]int, ws []float64) {
+		ForEachFinitePair(s, func(u, v int, w float64) {
+			pairs = append(pairs, [2]int{u, v})
+			ws = append(ws, w)
+		})
+		return pairs, ws
+	}
+	pairs, ws := collect(oi)
+	want := [][2]int{{0, 1}, {1, 2}, {2, 3}}
+	if len(pairs) != len(want) {
+		t.Fatalf("got %d finite pairs, want %d", len(pairs), len(want))
+	}
+	for i := range want {
+		if pairs[i] != want[i] || ws[i] != 1 {
+			t.Fatalf("pair %d = %v (w=%v), want %v (w=1)", i, pairs[i], ws[i], want[i])
+		}
+	}
+	// Dense fallback on a matrix with +Inf entries: same enumeration.
+	ms, err := FromMatrix(Matrix(oi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpairs, mws := collect(ms)
+	if len(mpairs) != len(pairs) {
+		t.Fatalf("fallback found %d pairs, want %d", len(mpairs), len(pairs))
+	}
+	for i := range pairs {
+		if mpairs[i] != pairs[i] || mws[i] != ws[i] {
+			t.Fatalf("fallback pair %d = %v, want %v", i, mpairs[i], pairs[i])
+		}
+	}
+}
+
 func TestClassifyGeneral(t *testing.T) {
 	w := [][]float64{{0, 0.5, 10}, {0.5, 0, 1}, {10, 1, 0}}
 	if got := Classify(w, 1e-9); got != ClassGeneral {

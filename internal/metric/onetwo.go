@@ -8,6 +8,7 @@ import "fmt"
 // non-trivial metric special case.
 type OneTwo struct {
 	n    int
+	m    int // number of distinct 1-edges
 	ones [][]bool
 }
 
@@ -18,15 +19,19 @@ func NewOneTwo(n int, oneEdges [][2]int) (*OneTwo, error) {
 	for i := range ones {
 		ones[i] = make([]bool, n)
 	}
+	m := 0
 	for _, e := range oneEdges {
 		u, v := e[0], e[1]
 		if u < 0 || u >= n || v < 0 || v >= n || u == v {
 			return nil, fmt.Errorf("metric: invalid 1-edge (%d,%d) on %d points", u, v, n)
 		}
+		if !ones[u][v] {
+			m++
+		}
 		ones[u][v] = true
 		ones[v][u] = true
 	}
-	return &OneTwo{n: n, ones: ones}, nil
+	return &OneTwo{n: n, m: m, ones: ones}, nil
 }
 
 // Size returns the number of points.
@@ -45,6 +50,20 @@ func (o *OneTwo) Dist(i, j int) float64 {
 	}
 }
 
+// Class reports the exact model class in O(1) (Classifier capability):
+// ClassUnit when every pair is a 1-edge (the space degenerates to the
+// NCG), ClassOneTwo otherwise.
+func (o *OneTwo) Class(eps float64) Class {
+	if complete(o.n, o.m) {
+		return ClassUnit
+	}
+	return ClassOneTwo
+}
+
+// Metric reports true: {1,2} weights always satisfy the triangle
+// inequality.
+func (o *OneTwo) Metric(eps float64) bool { return true }
+
 // IsOne reports whether (i,j) is a 1-edge.
 func (o *OneTwo) IsOne(i, j int) bool { return i != j && o.ones[i][j] }
 
@@ -61,11 +80,15 @@ func (o *OneTwo) OneEdges() [][2]int {
 	return out
 }
 
+// complete reports whether m distinct edges cover all pairs of n points.
+func complete(n, m int) bool { return m == n*(n-1)/2 }
+
 // OneInf is a {1,+Inf} host space (1-∞–GNCG): the paper's encoding of a
 // general unweighted host graph, where +Inf marks edges that can never be
 // bought. It is inherently non-metric whenever any pair is at +Inf.
 type OneInf struct {
 	n    int
+	m    int // number of distinct buyable (weight-1) edges
 	ones [][]bool
 }
 
@@ -76,7 +99,7 @@ func NewOneInf(n int, oneEdges [][2]int) (*OneInf, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &OneInf{n: n, ones: ot.ones}, nil
+	return &OneInf{n: n, m: ot.m, ones: ot.ones}, nil
 }
 
 // Size returns the number of points.
@@ -91,5 +114,33 @@ func (o *OneInf) Dist(i, j int) float64 {
 		return 1
 	default:
 		return inf
+	}
+}
+
+// Class reports the exact model class in O(1) (Classifier capability):
+// ClassUnit when every pair is buyable (no +Inf entries remain),
+// ClassOneInf otherwise.
+func (o *OneInf) Class(eps float64) Class {
+	if complete(o.n, o.m) {
+		return ClassUnit
+	}
+	return ClassOneInf
+}
+
+// Metric reports whether the space is metric: true only when no pair is
+// at +Inf (a metric host must be finite).
+func (o *OneInf) Metric(eps float64) bool { return complete(o.n, o.m) }
+
+// ForEachFinitePair enumerates the buyable pairs in ascending (u,v) order
+// (FinitePairer capability): O(n²) scan over the adjacency rows but only
+// O(m) callbacks, and downstream consumers never observe +Inf entries.
+func (o *OneInf) ForEachFinitePair(fn func(u, v int, w float64)) {
+	for u := 0; u < o.n; u++ {
+		row := o.ones[u]
+		for v := u + 1; v < o.n; v++ {
+			if row[v] {
+				fn(u, v, 1)
+			}
+		}
 	}
 }

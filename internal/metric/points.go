@@ -47,6 +47,16 @@ func (ps *Points) Dist(i, j int) float64 {
 	return PNormDist(ps.Coords[i], ps.Coords[j], ps.P)
 }
 
+// Class reports ClassMetric: every p-norm (p >= 1) induces a metric
+// (Classifier capability). This is the class guaranteed by construction; a
+// degenerate point set may incidentally realize a smaller class (e.g. all
+// pairs at distance exactly 1), which only dense classification detects.
+func (ps *Points) Class(eps float64) Class { return ClassMetric }
+
+// Metric reports true: p-norm distances satisfy the triangle inequality
+// for every p >= 1 (and p = +Inf).
+func (ps *Points) Metric(eps float64) bool { return true }
+
 // PNormDist returns ||a-b||_p for p >= 1 or p = +Inf.
 func PNormDist(a, b []float64, p float64) float64 {
 	if len(a) != len(b) {

@@ -91,6 +91,16 @@ func (tm *TreeMetric) Edges() []graph.Edge {
 	return append([]graph.Edge(nil), tm.edges...)
 }
 
+// Class reports ClassMetric: shortest-path closures of non-negative trees
+// are metrics (Classifier capability). This is the class guaranteed by
+// construction; a degenerate tree (e.g. a unit-weight star, whose closure
+// is a {1,2} metric) may incidentally realize a smaller class, which only
+// dense classification detects.
+func (tm *TreeMetric) Class(eps float64) Class { return ClassMetric }
+
+// Metric reports true: tree closures satisfy the triangle inequality.
+func (tm *TreeMetric) Metric(eps float64) bool { return true }
+
 // Dist returns the weighted tree distance between i and j.
 func (tm *TreeMetric) Dist(i, j int) float64 {
 	if i == j {

@@ -186,34 +186,31 @@ func floydDistSum(w [][]float64, n int) float64 {
 	return total
 }
 
+// hostGraph materializes the host's buyable (finite) pairs as a graph:
+// the MST/lower-bound substrate. Iteration goes through the host's
+// finite-pair capability, so 1-∞ hosts never touch +Inf entries.
+func hostGraph(g *game.Game) *graph.Graph {
+	full := graph.New(g.N())
+	g.Host.ForEachFinitePair(func(u, v int, w float64) {
+		full.AddEdge(u, v, w)
+	})
+	return full
+}
+
 // MSTCandidate returns the minimum spanning tree of the host as an OPT
 // candidate (the optimum for α → ∞).
 func MSTCandidate(g *game.Game) Result {
-	n := g.N()
-	full := graph.New(n)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if w := g.Host.Weight(u, v); !math.IsInf(w, 1) {
-				full.AddEdge(u, v, w)
-			}
-		}
-	}
-	edges, _ := full.MST()
+	edges, _ := hostGraph(g).MST()
 	return Evaluate(g, Result{Edges: edges})
 }
 
 // CompleteCandidate returns the full host graph as an OPT candidate (the
 // optimum for α → 0 on metric hosts).
 func CompleteCandidate(g *game.Game) Result {
-	n := g.N()
 	var edges []graph.Edge
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if w := g.Host.Weight(u, v); !math.IsInf(w, 1) {
-				edges = append(edges, graph.Edge{U: u, V: v, W: w})
-			}
-		}
-	}
+	g.Host.ForEachFinitePair(func(u, v int, w float64) {
+		edges = append(edges, graph.Edge{U: u, V: v, W: w})
+	})
 	return Evaluate(g, Result{Edges: edges})
 }
 
@@ -254,8 +251,11 @@ func lexLess(ai int, af float64, bi int, bf float64, eps float64) bool {
 // maxIters moves were applied. Disconnected candidates are compared
 // lexicographically by (disconnected pairs, finite cost), so the search
 // escapes them whenever possible. Returns the improved candidate.
+// Unbuyable (+Inf) start edges are ignored. The search is deterministic:
+// candidate pairs are enumerated in ascending order and every cost sum
+// folds in that fixed order, so repeated runs are bit-identical (a map
+// iteration here once caused last-ulp drift in the sweep results).
 func LocalSearch(g *game.Game, start []graph.Edge, eps float64, maxIters int) Result {
-	n := g.N()
 	present := make(map[[2]int]bool)
 	for _, e := range start {
 		u, v := e.U, e.V
@@ -264,10 +264,19 @@ func LocalSearch(g *game.Game, start []graph.Edge, eps float64, maxIters int) Re
 		}
 		present[[2]int{u, v}] = true
 	}
+	// Buyable pairs enumerated once through the host's finite-pair
+	// capability: the candidate moves of every iteration, and the fixed
+	// fold order of every evaluation.
+	var candidates [][2]int
+	g.Host.ForEachFinitePair(func(u, v int, w float64) {
+		candidates = append(candidates, [2]int{u, v})
+	})
 	edgesOf := func() []graph.Edge {
 		var out []graph.Edge
-		for k := range present {
-			out = append(out, graph.Edge{U: k[0], V: k[1], W: g.Host.Weight(k[0], k[1])})
+		for _, k := range candidates {
+			if present[k] {
+				out = append(out, graph.Edge{U: k[0], V: k[1], W: g.Host.Weight(k[0], k[1])})
+			}
 		}
 		return out
 	}
@@ -276,28 +285,22 @@ func LocalSearch(g *game.Game, start []graph.Edge, eps float64, maxIters int) Re
 		bestInf, bestCost := curInf, curCost
 		var bestKey [2]int
 		var bestAdd, haveMove bool
-		for u := 0; u < n; u++ {
-			for v := u + 1; v < n; v++ {
-				key := [2]int{u, v}
-				if math.IsInf(g.Host.Weight(u, v), 1) {
-					continue
+		for _, key := range candidates {
+			toggle := func() {
+				if present[key] {
+					delete(present, key)
+				} else {
+					present[key] = true
 				}
-				toggle := func() {
-					if present[key] {
-						delete(present, key)
-					} else {
-						present[key] = true
-					}
-				}
-				toggle()
-				ci, cf := lexSocial(g, edgesOf())
-				toggle()
-				if lexLess(ci, cf, bestInf, bestCost, eps) {
-					bestInf, bestCost = ci, cf
-					bestKey = key
-					bestAdd = !present[key]
-					haveMove = true
-				}
+			}
+			toggle()
+			ci, cf := lexSocial(g, edgesOf())
+			toggle()
+			if lexLess(ci, cf, bestInf, bestCost, eps) {
+				bestInf, bestCost = ci, cf
+				bestKey = key
+				bestAdd = !present[key]
+				haveMove = true
 			}
 		}
 		if !haveMove {
@@ -322,15 +325,7 @@ func LocalSearch(g *game.Game, start []graph.Edge, eps float64, maxIters int) Re
 // every pairwise distance is at least the host's shortest-path distance,
 // so cost(OPT) >= α·MST + Σ_{ordered pairs} d_H(u,v).
 func LowerBound(g *game.Game) float64 {
-	n := g.N()
-	full := graph.New(n)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if w := g.Host.Weight(u, v); !math.IsInf(w, 1) {
-				full.AddEdge(u, v, w)
-			}
-		}
-	}
+	full := hostGraph(g)
 	_, mstW := full.MST()
 	return g.Alpha*mstW + full.SumDistances()
 }

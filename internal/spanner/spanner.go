@@ -70,15 +70,10 @@ func Stretch(net *graph.Graph, h *game.Host) float64 {
 }
 
 func hostGraph(h *game.Host) *graph.Graph {
-	n := h.N()
-	g := graph.New(n)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if w := h.Weight(u, v); !math.IsInf(w, 1) {
-				g.AddEdge(u, v, w)
-			}
-		}
-	}
+	g := graph.New(h.N())
+	h.ForEachFinitePair(func(u, v int, w float64) {
+		g.AddEdge(u, v, w)
+	})
 	return g
 }
 

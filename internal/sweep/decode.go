@@ -1,0 +1,323 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// DecodeJSON parses a result set previously written by EncodeJSON. It is
+// the read side of the shard workflow: shard outputs decode back into
+// ResultSets, Merge combines them, and re-encoding the merged set is
+// byte-identical to the unsharded run. Field order inside records is
+// preserved (it is part of a record's identity) and numeric values
+// round-trip exactly: integer literals decode as int, everything else as
+// float64, matching the formatting rules of report.JSONValue. Rendering
+// metadata (Title, Note) is not part of the interchange format, so
+// decoded sets render plainly but encode identically.
+func DecodeJSON(r io.Reader) (*ResultSet, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	if err := expectDelim(dec, '{'); err != nil {
+		return nil, fmt.Errorf("sweep: decode: %w", err)
+	}
+	rs := &ResultSet{}
+	for dec.More() {
+		key, err := stringToken(dec)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: decode: %w", err)
+		}
+		if key != "cells" {
+			if err := skipValue(dec); err != nil {
+				return nil, fmt.Errorf("sweep: decode %q: %w", key, err)
+			}
+			continue
+		}
+		if err := expectDelim(dec, '['); err != nil {
+			return nil, fmt.Errorf("sweep: decode cells: %w", err)
+		}
+		for dec.More() {
+			c, err := decodeCell(dec)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: decode cell %d: %w", len(rs.Cells), err)
+			}
+			rs.Cells = append(rs.Cells, c)
+		}
+		if err := expectDelim(dec, ']'); err != nil {
+			return nil, fmt.Errorf("sweep: decode cells: %w", err)
+		}
+	}
+	if err := expectDelim(dec, '}'); err != nil {
+		return nil, fmt.Errorf("sweep: decode: %w", err)
+	}
+	// Trailing content would be silently dropped cells (e.g. `cat`-ed
+	// shard files passed as one input): require EOF.
+	if tok, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("sweep: decode: trailing content after result set (token %v, err %v); pass shard files separately instead of concatenating", tok, err)
+	}
+	return rs, nil
+}
+
+func decodeCell(dec *json.Decoder) (CellResult, error) {
+	var c CellResult
+	if err := expectDelim(dec, '{'); err != nil {
+		return c, err
+	}
+	for dec.More() {
+		key, err := stringToken(dec)
+		if err != nil {
+			return c, err
+		}
+		switch key {
+		case "seq":
+			n, err := intToken(dec)
+			if err != nil {
+				return c, err
+			}
+			c.Seq = n
+		case "experiment":
+			s, err := stringToken(dec)
+			if err != nil {
+				return c, err
+			}
+			c.Experiment = s
+		case "cell":
+			n, err := intToken(dec)
+			if err != nil {
+				return c, err
+			}
+			c.Cell.Index = n
+		case "params":
+			if err := decodeParams(dec, &c.Cell); err != nil {
+				return c, err
+			}
+		case "err":
+			s, err := stringToken(dec)
+			if err != nil {
+				return c, err
+			}
+			c.Err = s
+		case "records":
+			if err := expectDelim(dec, '['); err != nil {
+				return c, err
+			}
+			c.Records = []Record{}
+			for dec.More() {
+				r, err := decodeRecord(dec)
+				if err != nil {
+					return c, err
+				}
+				c.Records = append(c.Records, r)
+			}
+			if err := expectDelim(dec, ']'); err != nil {
+				return c, err
+			}
+		default:
+			if err := skipValue(dec); err != nil {
+				return c, err
+			}
+		}
+	}
+	if err := expectDelim(dec, '}'); err != nil {
+		return c, err
+	}
+	c.Cell.Experiment = c.Experiment
+	return c, nil
+}
+
+// decodeParams restores the typed grid dimensions from the fixed-key
+// params object, setting the matching Dims bit for each present key.
+func decodeParams(dec *json.Decoder, p *Params) error {
+	if err := expectDelim(dec, '{'); err != nil {
+		return err
+	}
+	for dec.More() {
+		key, err := stringToken(dec)
+		if err != nil {
+			return err
+		}
+		switch key {
+		case "host":
+			s, err := stringToken(dec)
+			if err != nil {
+				return err
+			}
+			p.Host = s
+			p.Dims |= DimHost
+		case "norm":
+			f, err := floatToken(dec)
+			if err != nil {
+				return err
+			}
+			p.Norm = f
+			p.Dims |= DimNorm
+		case "alpha":
+			f, err := floatToken(dec)
+			if err != nil {
+				return err
+			}
+			p.Alpha = f
+			p.Dims |= DimAlpha
+		case "n":
+			n, err := intToken(dec)
+			if err != nil {
+				return err
+			}
+			p.N = n
+			p.Dims |= DimN
+		case "seed":
+			n, err := intToken(dec)
+			if err != nil {
+				return err
+			}
+			p.Seed = int64(n)
+			p.Dims |= DimSeed
+		default:
+			return fmt.Errorf("unknown param %q", key)
+		}
+	}
+	return expectDelim(dec, '}')
+}
+
+func decodeRecord(dec *json.Decoder) (Record, error) {
+	var r Record
+	if err := expectDelim(dec, '{'); err != nil {
+		return r, err
+	}
+	for dec.More() {
+		key, err := stringToken(dec)
+		if err != nil {
+			return r, err
+		}
+		tok, err := dec.Token()
+		if err != nil {
+			return r, err
+		}
+		v, err := scalarValue(tok)
+		if err != nil {
+			return r, fmt.Errorf("record key %q: %w", key, err)
+		}
+		r.Fields = append(r.Fields, Field{Key: key, Value: v})
+	}
+	return r, expectDelim(dec, '}')
+}
+
+// scalarValue converts a decoded token into the value type whose
+// JSONValue/Precise rendering reproduces the original literal: integer
+// literals become int, other numbers float64 (both formats round-trip
+// through strconv exactly), strings, bools and null pass through.
+func scalarValue(tok json.Token) (any, error) {
+	switch v := tok.(type) {
+	case json.Number:
+		// Negative zero parses as integer 0 but must stay a float to
+		// re-encode as "-0".
+		if i, err := strconv.ParseInt(string(v), 10, 64); err == nil && string(v) != "-0" {
+			return int(i), nil
+		}
+		if u, err := strconv.ParseUint(string(v), 10, 64); err == nil {
+			return u, nil
+		}
+		f, err := v.Float64()
+		if err != nil {
+			return nil, fmt.Errorf("invalid number %q", string(v))
+		}
+		return f, nil
+	case string:
+		return v, nil
+	case bool:
+		return v, nil
+	case nil:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unexpected token %v (records hold scalars only)", tok)
+	}
+}
+
+func expectDelim(dec *json.Decoder, want json.Delim) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if got, ok := tok.(json.Delim); !ok || got != want {
+		return fmt.Errorf("expected %q, got %v", want, tok)
+	}
+	return nil
+}
+
+func stringToken(dec *json.Decoder) (string, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return "", err
+	}
+	s, ok := tok.(string)
+	if !ok {
+		return "", fmt.Errorf("expected string, got %v", tok)
+	}
+	return s, nil
+}
+
+func intToken(dec *json.Decoder) (int, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return 0, err
+	}
+	num, ok := tok.(json.Number)
+	if !ok {
+		return 0, fmt.Errorf("expected number, got %v", tok)
+	}
+	i, err := strconv.ParseInt(string(num), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("expected integer, got %q", string(num))
+	}
+	return int(i), nil
+}
+
+// floatToken reads a float param value. Non-finite floats are encoded as
+// the strings "inf" / "-inf" / "nan" (JSON has no number form for them —
+// see report.JSONValue), so those spellings decode back to floats.
+func floatToken(dec *json.Decoder) (float64, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return 0, err
+	}
+	switch v := tok.(type) {
+	case json.Number:
+		return v.Float64()
+	case string:
+		switch v {
+		case "inf":
+			return math.Inf(1), nil
+		case "-inf":
+			return math.Inf(-1), nil
+		case "nan":
+			return math.NaN(), nil
+		}
+	}
+	return 0, fmt.Errorf("expected number, got %v", tok)
+}
+
+// skipValue consumes exactly one JSON value (scalar, object or array).
+func skipValue(dec *json.Decoder) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	d, ok := tok.(json.Delim)
+	if !ok {
+		return nil // scalar
+	}
+	switch d {
+	case '{', '[':
+		for dec.More() {
+			if err := skipValue(dec); err != nil {
+				return err
+			}
+		}
+		_, err := dec.Token() // closing delim
+		return err
+	default:
+		return fmt.Errorf("unexpected %q", d)
+	}
+}

@@ -117,6 +117,131 @@ func TestShardAndWorkerDeterminism(t *testing.T) {
 	}
 }
 
+// TestDecodeJSONRoundTrip is the merge-subcommand contract: encoding a
+// result set, decoding it back and re-encoding must be byte-identical —
+// including params typing, record field order, non-finite floats and
+// captured cell errors.
+func TestDecodeJSONRoundTrip(t *testing.T) {
+	exps := toyExperiments()
+	exps = append(exps,
+		Experiment{Name: "toy-panic", Run: func(p Params) []Record { panic("decoded too") }},
+		// A +Inf norm (the max-norm selector) encodes as the string "inf"
+		// in params and must decode back to a float.
+		Experiment{
+			Name: "toy-inf-norm",
+			Grid: func(quick bool) Grid { return Grid{Norms: []float64{2, math.Inf(1)}} },
+			Run:  func(p Params) []Record { return []Record{R("norm_back", p.Norm)} },
+		})
+	ref, err := Run(exps, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, refCSV := encodeBoth(t, ref)
+	decoded, err := DecodeJSON(strings.NewReader(refJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, gotCSV := encodeBoth(t, decoded)
+	if gotJSON != refJSON {
+		t.Fatal("decode/encode round trip changed the JSON bytes")
+	}
+	if gotCSV != refCSV {
+		t.Fatal("decode/encode round trip changed the CSV bytes")
+	}
+}
+
+// TestDecodeMergeShards: decoding every shard's encoded output and
+// merging reproduces the unsharded encoding byte-for-byte — the full
+// file-level merge workflow, in memory.
+func TestDecodeMergeShards(t *testing.T) {
+	exps := toyExperiments()
+	ref, err := Run(exps, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, refCSV := encodeBoth(t, ref)
+	for _, shards := range []int{2, 4} {
+		var sets []*ResultSet
+		for shard := 0; shard < shards; shard++ {
+			part, err := Run(exps, Config{Workers: 3, Shards: shards, Shard: shard})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := part.EncodeJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := DecodeJSON(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sets = append(sets, decoded)
+		}
+		gotJSON, gotCSV := encodeBoth(t, Merge(sets...))
+		if gotJSON != refJSON {
+			t.Fatalf("shards=%d: decoded merge JSON differs from unsharded run", shards)
+		}
+		if gotCSV != refCSV {
+			t.Fatalf("shards=%d: decoded merge CSV differs from unsharded run", shards)
+		}
+	}
+}
+
+// TestDecodeJSONNegativeZero: -0 is a valid float literal that parses as
+// integer 0; it must stay a float so the round trip re-encodes "-0".
+func TestDecodeJSONNegativeZero(t *testing.T) {
+	rs := &ResultSet{Cells: []CellResult{{
+		Experiment: "e",
+		Records:    []Record{R("z", math.Copysign(0, -1))},
+	}}}
+	var buf bytes.Buffer
+	if err := rs.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"z": -0`) {
+		t.Fatalf("encoder did not produce -0:\n%s", buf.String())
+	}
+	ref := buf.String()
+	decoded, err := DecodeJSON(strings.NewReader(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := decoded.EncodeJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != ref {
+		t.Fatalf("negative zero lost in round trip:\n%s\nvs\n%s", again.String(), ref)
+	}
+}
+
+func TestDecodeJSONErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"[]",
+		`{"cells": [{"seq": "x"}]}`,
+		`{"cells": [{"params": {"bogus": 1}}]}`,
+		`{"cells": [{"records": [{"k": [1,2]}]}]}`,
+		// Concatenated result sets must be rejected, not silently
+		// truncated to the first one.
+		`{"cells": []}` + "\n" + `{"cells": []}`,
+	} {
+		if _, err := DecodeJSON(strings.NewReader(bad)); err == nil {
+			t.Errorf("DecodeJSON(%q) should fail", bad)
+		}
+	}
+	// Unknown top-level and cell-level keys are skipped for forward
+	// compatibility.
+	ok := `{"meta": {"x": [1, {"y": 2}]}, "cells": [{"seq": 3, "experiment": "e", "cell": 0, "future": [1], "records": []}]}`
+	rs, err := DecodeJSON(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("forward-compatible decode failed: %v", err)
+	}
+	if len(rs.Cells) != 1 || rs.Cells[0].Seq != 3 || rs.Cells[0].Experiment != "e" {
+		t.Fatalf("decoded cells wrong: %+v", rs.Cells)
+	}
+}
+
 func TestGridExpansion(t *testing.T) {
 	g := Grid{Alphas: []float64{1, 2}, Seeds: Seq(3)}
 	cells := g.Cells()
