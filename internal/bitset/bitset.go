@@ -128,6 +128,27 @@ func (s Set) ForEach(fn func(e int)) {
 	}
 }
 
+// ForEachSymDiff calls fn, in increasing order, for every element in
+// exactly one of s and t: the vertices whose membership a strategy change
+// actually flips. The universes must match. The scan XORs all n/64 words;
+// fn is invoked only |difference| times, which is what lets the game
+// engine do O(|difference|) per-edge work on a strategy update instead of
+// re-examining every vertex.
+func (s Set) ForEachSymDiff(t Set, fn func(e int)) {
+	if s.n != t.n {
+		panic("bitset: universe mismatch")
+	}
+	for wi, w := range s.words {
+		w ^= t.words[wi]
+		base := wi * wordBits
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(base + b)
+			w &= w - 1
+		}
+	}
+}
+
 // Union adds every element of t to s. The universes must match.
 func (s Set) Union(t Set) {
 	if s.n != t.n {

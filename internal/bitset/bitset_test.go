@@ -157,3 +157,32 @@ func TestForEachOrder(t *testing.T) {
 		prev = e
 	})
 }
+
+func TestForEachSymDiff(t *testing.T) {
+	s := FromSlice(300, []int{1, 3, 64, 250})
+	u := FromSlice(300, []int{3, 65, 250, 299})
+	var got []int
+	prev := -1
+	s.ForEachSymDiff(u, func(e int) {
+		if e <= prev {
+			t.Fatalf("ForEachSymDiff out of order: %d after %d", e, prev)
+		}
+		prev = e
+		got = append(got, e)
+	})
+	want := []int{1, 64, 65, 299}
+	if len(got) != len(want) {
+		t.Fatalf("symdiff = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("symdiff = %v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("universe mismatch did not panic")
+		}
+	}()
+	s.ForEachSymDiff(New(5), func(int) {})
+}

@@ -31,23 +31,15 @@ func BestResponseMover(s *game.State, u int) (bitset.Set, bool) {
 	return br.Strategy, true
 }
 
-// GreedyMover plays the best single buy/delete/swap move.
+// GreedyMover plays the best single buy/delete/swap move. The winning
+// move is turned into a strategy by game.Move.NewStrategy — the same
+// helper State.Apply uses — so the two mutation paths cannot drift.
 func GreedyMover(s *game.State, u int) (bitset.Set, bool) {
 	m, _, ok := s.BestSingleMove(u)
 	if !ok {
 		return bitset.Set{}, false
 	}
-	strat := s.P.S[u].Clone()
-	switch m.Kind {
-	case game.Buy:
-		strat.Add(m.V)
-	case game.Delete:
-		strat.Remove(m.V)
-	case game.Swap:
-		strat.Remove(m.V)
-		strat.Add(m.X)
-	}
-	return strat, true
+	return m.NewStrategy(s.P.S[u]), true
 }
 
 // AddOnlyMover plays the best single buy move (never deletes).
@@ -56,9 +48,7 @@ func AddOnlyMover(s *game.State, u int) (bitset.Set, bool) {
 	if !ok {
 		return bitset.Set{}, false
 	}
-	strat := s.P.S[u].Clone()
-	strat.Add(m.V)
-	return strat, true
+	return m.NewStrategy(s.P.S[u]), true
 }
 
 // ApproxBRMover plays the UMFL-local-search 3-approximate best response,

@@ -1,24 +1,41 @@
 package game
 
-import "sync"
+import (
+	"sync"
+
+	"gncg/internal/graph"
+)
 
 // distCache memoizes shortest-path computations on the created network
 // G(s): per-source Dijkstra rows (backing DistCost/Cost/SocialCost) and
 // per-removed-vertex APSP matrices (backing the best-response reduction's
 // G∖u distances). Entries are stamped with the network version they were
-// computed against; any real edge change bumps the version, implicitly
-// invalidating every entry without clearing storage.
+// computed against; the version advances on every edge change.
+//
+// Single-edge changes — the buy/delete/swap moves all dynamics are built
+// from — do not discard the rows: they are repaired in place with the
+// dynamic shortest-path primitives of internal/graph (Ramalingam–Reps
+// style) and re-stamped onto the new version, so a repaired row is
+// bit-identical to a fresh Dijkstra on the mutated network. A row whose
+// affected set exceeds the repair budget keeps its dead stamp and is
+// recomputed lazily on the next query. Bulk strategy replacements and the
+// G∖u matrices fall back to wholesale invalidation (bump).
 //
 // Version stamps come from a monotone sequence that is never reused, which
 // makes speculative evaluation cheap to undo: CostAfter snapshots the
 // version, mutates, evaluates, reverts the mutation and then re-tags the
-// pre-speculation entries with a fresh stamp (restore). Rows computed
-// against the speculative network keep their dead stamp and can never be
-// mistaken for current again.
+// still-consistent entries with a fresh stamp (restore). After an exact
+// undo two kinds of entry are consistent: entries untouched since the
+// snapshot (the network is back to the identical edge set) and entries
+// carrying the current version (they were repaired across both the move
+// and its inverse, or computed after the revert). Everything else keeps a
+// dead stamp and can never be mistaken for current again.
 //
 // The cache is safe for concurrent read-side use (parallel cost queries on
 // distinct sources, as in IsNash and TotalDistCost); mutation of the state
-// itself remains single-threaded, as documented on State.
+// itself remains single-threaded, as documented on State. Because repair
+// rewrites rows in place, a slice returned by Dist is only valid until the
+// state's next mutation.
 type distCache struct {
 	mu       sync.Mutex
 	seq      uint64 // stamp supply; strictly increasing, never reused
@@ -56,6 +73,56 @@ func (c *distCache) bump() {
 	c.mu.Unlock()
 }
 
+// edgeAdded advances the version across the insertion of edge (u,v,w)
+// into net (already mutated) and repairs every currently-valid row in
+// place, carrying it onto the new version. The G∖u matrices are not
+// repaired and implicitly expire.
+func (c *distCache) edgeAdded(net *graph.Graph, u, v int, w float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	nv := c.seq
+	if !c.off {
+		for i, row := range c.rows {
+			if row == nil || c.rowVer[i] != c.version {
+				continue
+			}
+			net.RepairRowAdd(row, u, v, w)
+			c.rowVer[i] = nv
+		}
+	}
+	c.version = nv
+}
+
+// repairBudget supplies the affected-set budget for removal repair. It is
+// a variable so tests can force the fallback path (rows dropped to a dead
+// stamp and recomputed lazily) on graphs small enough that the default
+// budget would otherwise never be exceeded.
+var repairBudget = graph.DefaultRepairBudget
+
+// edgeRemoved is edgeAdded's counterpart for deleting edge (u,v) of
+// weight w from net (already mutated). Rows whose affected set exceeds
+// the repair budget are left behind on the dead version and recomputed
+// lazily on their next query.
+func (c *distCache) edgeRemoved(net *graph.Graph, u, v int, w float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	nv := c.seq
+	if !c.off {
+		budget := repairBudget(len(c.rows))
+		for i, row := range c.rows {
+			if row == nil || c.rowVer[i] != c.version {
+				continue
+			}
+			if _, ok := net.RepairRowRemove(row, i, u, v, w, budget); ok {
+				c.rowVer[i] = nv
+			}
+		}
+	}
+	c.version = nv
+}
+
 // snapshot returns the current version for a later restore.
 func (c *distCache) snapshot() uint64 {
 	c.mu.Lock()
@@ -67,19 +134,23 @@ func (c *distCache) snapshot() uint64 {
 // restore declares the network identical to what it was at snapshot time
 // (the caller has exactly undone its speculative mutation). Entries
 // computed at the snapshot version are re-tagged with a fresh stamp and
-// become valid again; entries computed during the speculation keep a dead
-// stamp forever.
+// become valid again, as are entries carrying the current version: those
+// were either repaired across the speculative move and its exact inverse
+// — which lands them bit-equal on the restored network — or computed
+// after the revert. Entries stranded on intermediate versions (e.g. rows
+// computed against the speculative network and then dropped by a repair
+// fallback) keep a dead stamp forever.
 func (c *distCache) restore(snap uint64) {
 	c.mu.Lock()
 	c.seq++
 	nv := c.seq
 	for i, rv := range c.rowVer {
-		if c.rows[i] != nil && rv == snap {
+		if c.rows[i] != nil && (rv == snap || rv == c.version) {
 			c.rowVer[i] = nv
 		}
 	}
 	for i, av := range c.avoidVer {
-		if c.avoid[i] != nil && av == snap {
+		if c.avoid[i] != nil && (av == snap || av == c.version) {
 			c.avoidVer[i] = nv
 		}
 	}
@@ -88,12 +159,12 @@ func (c *distCache) restore(snap uint64) {
 }
 
 // Dist returns shortest-path distances from src in G(s), memoized until
-// the network next changes. Callers must not mutate the returned slice.
+// the network next changes. Callers must not mutate the returned slice
+// and must not retain it across a state mutation: single-edge moves
+// repair cached rows in place, so the slice's contents track the current
+// network, not the network at call time.
 func (s *State) Dist(src int) []float64 {
 	c := s.cache
-	if c == nil {
-		return s.net.Dijkstra(src)
-	}
 	c.mu.Lock()
 	if c.off {
 		c.mu.Unlock()
@@ -125,7 +196,7 @@ func (s *State) Dist(src int) []float64 {
 // Callers must not mutate the returned matrix.
 func (s *State) APSPAvoiding(avoid int) [][]float64 {
 	c := s.cache
-	if c == nil || s.G.N() > avoidCacheMaxN {
+	if s.G.N() > avoidCacheMaxN {
 		return s.net.APSPAvoiding(avoid)
 	}
 	c.mu.Lock()

@@ -3,6 +3,9 @@ package game
 import (
 	"fmt"
 	"math"
+	"sort"
+
+	"gncg/internal/bitset"
 )
 
 // MoveKind enumerates the single-edge moves of the paper's greedy
@@ -41,22 +44,53 @@ func (m Move) String() string {
 	}
 }
 
-// Apply mutates the state by performing the move. It panics on malformed
-// moves (buying an already-bought edge is a no-op and allowed).
-func (s *State) Apply(m Move) {
-	strat := s.P.S[m.Agent].Clone()
+// NewStrategy returns the strategy that applying m to cur produces,
+// without mutating cur. It is the single definition of how a move edits a
+// strategy — State.Apply and the dynamics movers both go through it, so
+// the two paths cannot drift. It panics on malformed moves: an invalid
+// kind, a self-targeted endpoint, or a Delete/Swap whose deleted endpoint
+// V is not owned (buying an already-owned node remains a no-op, and is
+// allowed).
+func (m Move) NewStrategy(cur bitset.Set) bitset.Set {
+	strat := cur.Clone()
 	switch m.Kind {
 	case Buy:
+		m.checkEndpoint(m.V)
 		strat.Add(m.V)
 	case Delete:
+		m.checkOwned(cur, m.V)
 		strat.Remove(m.V)
 	case Swap:
+		m.checkOwned(cur, m.V)
+		m.checkEndpoint(m.X)
 		strat.Remove(m.V)
 		strat.Add(m.X)
 	default:
 		panic("game: invalid move kind")
 	}
-	s.SetStrategy(m.Agent, strat)
+	return strat
+}
+
+func (m Move) checkEndpoint(v int) {
+	if v == m.Agent {
+		panic(fmt.Sprintf("game: malformed move %q: self-targeted endpoint", m))
+	}
+}
+
+func (m Move) checkOwned(cur bitset.Set, v int) {
+	m.checkEndpoint(v)
+	if !cur.Has(v) {
+		panic(fmt.Sprintf("game: malformed move %q: agent %d does not own (%d,%d)",
+			m, m.Agent, m.Agent, v))
+	}
+}
+
+// Apply mutates the state by performing the move. It panics on malformed
+// moves, with Move.NewStrategy's contract: deleting or swapping out an
+// edge the agent does not own is an error, not a silent no-op or a
+// degenerate buy; buying an already-bought edge is a no-op and allowed.
+func (s *State) Apply(m Move) {
+	s.SetStrategy(m.Agent, m.NewStrategy(s.P.S[m.Agent]))
 }
 
 // CostAfter evaluates the mover's cost after the move without leaving the
@@ -99,22 +133,198 @@ func (s *State) CandidateMoves(u int) []Move {
 }
 
 // BestSingleMove returns agent u's best single-edge move and the cost it
-// achieves. If no move strictly improves on the current cost, ok is false
-// and the returned cost is the current cost.
+// achieves. If no move strictly improves on the current cost, ok is false,
+// the returned cost is the current cost, and the returned move is
+// meaningless. The scan is neighborhood-pruned: candidates whose
+// distance-gain upper bound (derived from u's current distance row and
+// the network triangle inequality, see moveBounds) provably cannot beat
+// the running best are skipped without evaluation. Pruning never changes
+// the outcome — BestSingleMoveExact is the unpruned oracle, and property
+// tests pin (move, cost, ok) equality between the two.
 func (s *State) BestSingleMove(u int) (best Move, cost float64, ok bool) {
+	return s.bestSingleMove(u, true)
+}
+
+// BestSingleMoveExact is the exhaustive-scan oracle for BestSingleMove:
+// every candidate move is evaluated. It exists for tests and as the
+// fallback when pruning bounds do not apply (infinite current cost).
+func (s *State) BestSingleMoveExact(u int) (best Move, cost float64, ok bool) {
+	return s.bestSingleMove(u, false)
+}
+
+// bestSingleMove scans candidates in CandidateMoves order (all buys in
+// ascending v, then per owned edge: the delete followed by its swaps in
+// ascending x), optionally skipping candidates that moveBounds proves
+// non-improving. Enumeration order is shared with the oracle so that the
+// first candidate attaining the minimum — which is never pruned — wins in
+// both scans.
+func (s *State) bestSingleMove(u int, prune bool) (best Move, cost float64, ok bool) {
 	cur := s.Cost(u)
 	cost = cur
-	for _, m := range s.CandidateMoves(u) {
+	var pb *moveBounds
+	if prune {
+		pb = s.newMoveBounds(u, cur)
+	}
+	n := s.G.N()
+	owned := s.P.S[u]
+	consider := func(m Move) {
 		if c := s.CostAfter(m); c < cost {
 			cost = c
 			best = m
 		}
 	}
+	// Adaptive bail: bound checks only pay for themselves when they
+	// actually prune (near-stable states, large α). If the first probe
+	// window prunes under a sixth of its candidates — improvement-rich
+	// states where most moves genuinely must be evaluated — stop checking
+	// and run exhaustively. The decision depends only on the scan's own
+	// history, so results stay deterministic (and pruning never changes
+	// them either way).
+	checked, prunedCnt := 0, 0
+	skip := func(y int, refund float64) bool {
+		if pb == nil || (checked >= 96 && prunedCnt*6 < checked) {
+			return false
+		}
+		checked++
+		if pb.skipAcquire(s.hostWeight(u, y), pb.duv[y], refund, cur-cost) {
+			prunedCnt++
+			return true
+		}
+		return false
+	}
+	for v := 0; v < n; v++ {
+		if v == u || owned.Has(v) {
+			continue
+		}
+		if skip(v, 0) {
+			continue
+		}
+		consider(Move{Agent: u, Kind: Buy, V: v})
+	}
+	owned.ForEach(func(v int) {
+		consider(Move{Agent: u, Kind: Delete, V: v})
+		var refund float64
+		if pb != nil {
+			refund = s.G.Alpha * s.hostWeight(u, v)
+		}
+		for x := 0; x < n; x++ {
+			if x == u || x == v || owned.Has(x) {
+				continue
+			}
+			if skip(x, refund) {
+				continue
+			}
+			consider(Move{Agent: u, Kind: Swap, V: v, X: x})
+		}
+	})
 	ok = s.G.Improves(cost, cur)
 	if !ok {
 		cost = cur
 	}
 	return best, cost, ok
+}
+
+// moveBounds holds the per-agent quantities behind the pruned move scan.
+// For a move that acquires the host edge (u,y) of weight w — a buy, or
+// the bought half of a swap — the traffic-weighted distance gain is
+// bounded above by both
+//
+//	gainUB(w) = Σ_x t(u,x)·max(0, d(u,x) − w)
+//
+// (acquiring a direct edge of length w cannot bring any x closer than w;
+// one sorted pass over u's distance row answers it in O(log n) per
+// candidate) and
+//
+//	T · max(0, d(u,y) − w),  T = Σ_x t(u,x)
+//
+// (by the network triangle inequality d(u,x) ≤ d(u,y) + d(y,x), each
+// term of the gain is at most d(u,y) − w; deletions on the swapped-out
+// side only increase distances and cannot enlarge the gain). A candidate
+// is skipped when the smaller bound, minus the edge-price delta, cannot
+// exceed the larger of the strict-improvement tolerance and the running
+// best improvement — minus a float slack absorbing the ulp-level
+// divergence between real-arithmetic bounds and float path sums, so a
+// pruned candidate can never be one the oracle would have accepted.
+//
+// The bounds need a finite current cost (an agent that cannot reach a
+// positive-demand node gains unboundedly from reconnection); newMoveBounds
+// returns nil in that case and the scan falls back to the oracle.
+type moveBounds struct {
+	duv   []float64 // private copy of u's distance row (repair-safe)
+	ds    []float64 // positive-traffic distances, ascending
+	std   []float64 // std[i] = Σ_{j≥i} t_j·ds[j]
+	st    []float64 // st[i] = Σ_{j≥i} t_j
+	tpos  float64   // Σ_x t(u,x)
+	alpha float64
+	eps   float64
+	slack float64
+}
+
+func (s *State) newMoveBounds(u int, cur float64) *moveBounds {
+	if math.IsInf(cur, 1) {
+		return nil
+	}
+	row := s.Dist(u)
+	pb := &moveBounds{
+		duv:   append([]float64(nil), row...), // Dist rows are repaired in place mid-scan
+		alpha: s.G.Alpha,
+		eps:   s.G.Eps,
+		slack: 1e-11 * (1 + math.Abs(cur)),
+	}
+	type dt struct{ d, t float64 }
+	pairs := make([]dt, 0, len(row))
+	for x, d := range row {
+		if x == u {
+			continue
+		}
+		t := s.G.Traffic(u, x)
+		if t == 0 {
+			continue // zero demand contributes no gain (and tolerates d = +Inf)
+		}
+		pairs = append(pairs, dt{d, t})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].d < pairs[j].d })
+	pb.ds = make([]float64, len(pairs))
+	pb.std = make([]float64, len(pairs)+1)
+	pb.st = make([]float64, len(pairs)+1)
+	for i := len(pairs) - 1; i >= 0; i-- {
+		pb.ds[i] = pairs[i].d
+		pb.std[i] = pb.std[i+1] + pairs[i].t*pairs[i].d
+		pb.st[i] = pb.st[i+1] + pairs[i].t
+	}
+	pb.tpos = pb.st[0]
+	return pb
+}
+
+// gainUB returns Σ_x t(u,x)·max(0, d(u,x) − w).
+func (pb *moveBounds) gainUB(w float64) float64 {
+	i := sort.SearchFloat64s(pb.ds, w) // first index with ds[i] ≥ w; equal terms contribute 0
+	return pb.std[i] - w*pb.st[i]
+}
+
+// skipAcquire reports whether acquiring a host edge of weight w towards a
+// node at network distance duy — with refund α·w(u,V) when the move also
+// deletes owned edge (u,V), 0 for a plain buy — provably cannot beat the
+// running best improvement (or the strict-improvement tolerance, whichever
+// is larger).
+func (pb *moveBounds) skipAcquire(w, duy, refund, bestGain float64) bool {
+	if math.IsInf(w, 1) {
+		return true // unbuyable pair: the move's edge cost alone is +Inf
+	}
+	threshold := bestGain
+	if pb.eps > threshold {
+		threshold = pb.eps
+	}
+	threshold += pb.alpha*w - refund - pb.slack
+	// O(1) triangle bound first; the sorted-row bound only when it fails.
+	var pair float64
+	if pb.tpos > 0 && duy > w {
+		pair = pb.tpos * (duy - w) // duy may be +Inf (zero-demand pair): pair = +Inf, no prune
+	}
+	if pair <= threshold {
+		return true
+	}
+	return pb.gainUB(w) <= threshold
 }
 
 // BestBuy returns agent u's best single Buy move, mirroring the add-only

@@ -12,12 +12,18 @@ import (
 // G(s) kept materialized and shortest-path queries memoized (see
 // cache.go). All cost queries and move evaluations go through a State.
 // States are not safe for concurrent mutation; read-only cost queries on
-// distinct sources are safe.
+// distinct sources are safe. States must be created with NewState (or
+// Clone); the zero value is unusable.
 type State struct {
 	G     *Game
 	P     Profile
 	net   *graph.Graph
 	cache *distCache
+
+	// touched counts vertices examined by SetStrategy's diff walk. It is
+	// a white-box regression guard: a single-edge move must do O(Δ) work,
+	// not rescan all n vertices (see TestSetStrategyTouchesOnlyDiff).
+	touched int
 }
 
 // NewState binds profile p to game g and materializes G(s). The profile is
@@ -61,30 +67,66 @@ func (s *State) Clone() *State {
 	}
 }
 
+// repairFlipLimit is the edge-change count up to which SetStrategy routes
+// cached rows through incremental repair instead of wholesale
+// invalidation: 2 covers every single-edge move (buy and delete flip one
+// edge, swap flips two), while bulk strategy replacements — where repair
+// would be re-run once per flipped edge — fall back to one bump.
+const repairFlipLimit = 2
+
+// edgeFlip records one network edge that a strategy change toggles.
+type edgeFlip struct {
+	v   int
+	add bool
+	w   float64
+}
+
 // SetStrategy replaces agent u's strategy and incrementally repairs the
-// network: only u's incident edges change. Cached distances are
-// invalidated only if the edge set actually changed (a pure ownership
-// change leaves every distance intact).
+// network: only edges incident to u whose ownership flip actually toggles
+// existence change, found by diffing the old and new strategy bitsets —
+// a single-edge move does O(Δ) edge work, never an O(n) vertex rescan.
+// Cached distance rows survive changes of at most repairFlipLimit edges
+// via in-place shortest-path repair; larger changes, and pure ownership
+// changes of zero edges, invalidate (respectively keep) them as before.
 func (s *State) SetStrategy(u int, strat bitset.Set) {
-	n := s.G.N()
-	s.P.S[u] = strat.Clone()
-	changed := false
-	for v := 0; v < n; v++ {
+	old := s.P.S[u]
+	next := strat.Clone()
+	s.P.S[u] = next
+	var flips []edgeFlip
+	old.ForEachSymDiff(next, func(v int) {
+		s.touched++
 		if v == u {
-			continue
+			return
 		}
-		want := s.P.S[u].Has(v) || s.P.S[v].Has(u)
-		has := s.net.HasEdge(u, v)
-		switch {
+		want := next.Has(v) || s.P.S[v].Has(u)
+		switch has := s.net.HasEdge(u, v); {
 		case want && !has:
-			s.net.AddEdge(u, v, s.hostWeight(u, v))
-			changed = true
+			flips = append(flips, edgeFlip{v, true, s.hostWeight(u, v)})
 		case !want && has:
-			s.net.RemoveEdge(u, v)
-			changed = true
+			flips = append(flips, edgeFlip{v, false, s.net.EdgeWeight(u, v)})
 		}
-	}
-	if changed {
+	})
+	switch {
+	case len(flips) == 0:
+		// Pure ownership change: every distance is intact.
+	case len(flips) <= repairFlipLimit:
+		for _, f := range flips {
+			if f.add {
+				s.net.AddEdge(u, f.v, f.w)
+				s.cache.edgeAdded(s.net, u, f.v, f.w)
+			} else {
+				s.net.RemoveEdge(u, f.v)
+				s.cache.edgeRemoved(s.net, u, f.v, f.w)
+			}
+		}
+	default:
+		for _, f := range flips {
+			if f.add {
+				s.net.AddEdge(u, f.v, f.w)
+			} else {
+				s.net.RemoveEdge(u, f.v)
+			}
+		}
 		s.cache.bump()
 	}
 }

@@ -1,0 +1,220 @@
+package graph
+
+import "math"
+
+// Dynamic single-source shortest-path repair, after Ramalingam & Reps
+// (1996): when one edge changes, a previously computed Dijkstra row can be
+// repaired by touching only the vertices whose distance actually changed,
+// instead of being recomputed from scratch. This is the primitive behind
+// the game engine's incremental distance cache — a single buy/delete/swap
+// move perturbs one or two edges of the created network, so the per-source
+// rows survive speculation (CostAfter) and dynamics at a fraction of the
+// full-Dijkstra price.
+//
+// Both repair entry points keep the row bit-identical to what a fresh
+// Dijkstra on the mutated graph would produce: repaired values are minima
+// over exactly the same left-to-right float path sums that Dijkstra's
+// dynamic program explores, and untouched values are proven unchanged (an
+// edge insertion only relaxes, and a deletion can only affect vertices
+// whose every tight predecessor chain crossed the deleted edge).
+//
+// The deletion side is output-sensitive but not worst-case better than
+// Dijkstra: on graphs with many equal-length ties the potentially-affected
+// set can balloon, so RepairRowRemove takes a budget and reports failure
+// once the set exceeds it, leaving the row untouched for the caller to
+// recompute (or discard). DefaultRepairBudget is the threshold used by the
+// game's distance cache.
+
+// DefaultRepairBudget returns the affected-set size beyond which deletion
+// repair falls back to a full recomputation, for an n-vertex graph. Small
+// affected sets are the common case for single-edge game moves; past
+// roughly n/4 the repair's bookkeeping stops paying for itself.
+func DefaultRepairBudget(n int) int { return 16 + n/4 }
+
+// RepairRowAdd repairs the shortest-path row dist (valid for g before the
+// undirected edge (u,v,w) was inserted) so it is valid for g after the
+// insertion; g must already contain the edge. Distances only decrease; the
+// repair seeds a Dijkstra wavefront from whichever endpoints the new edge
+// improves and relaxes outward, touching only improved vertices. It
+// returns the number of entries that changed.
+//
+// Inserting an edge with +Inf weight (an unbuyable host pair) changes no
+// distance and returns 0 immediately. The same routine also repairs a
+// weight decrease of an existing edge.
+func (g *Graph) RepairRowAdd(dist []float64, u, v int, w float64) int {
+	if math.IsInf(w, 1) {
+		return 0
+	}
+	h := newHeap(8)
+	var touched map[int]bool // lazily allocated: the common case is no change
+	mark := func(x int) {
+		if touched == nil {
+			touched = make(map[int]bool, 8)
+		}
+		touched[x] = true
+	}
+	if nd := addF(dist[u], w); nd < dist[v] {
+		dist[v] = nd
+		h.push(v, nd)
+		mark(v)
+	}
+	if nd := addF(dist[v], w); nd < dist[u] {
+		dist[u] = nd
+		h.push(u, nd)
+		mark(u)
+	}
+	for h.len() > 0 {
+		x, dx := h.pop()
+		if dx > dist[x] {
+			continue
+		}
+		for _, e := range g.adj[x] {
+			if math.IsInf(e.w, 1) {
+				continue
+			}
+			if nd := dx + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				h.push(e.to, nd)
+				mark(e.to) // distinct vertices, not relaxations: a vertex can improve repeatedly
+			}
+		}
+	}
+	return len(touched)
+}
+
+// addF adds a finite weight to a possibly-infinite distance without
+// producing NaN (Inf + w = Inf, which never relaxes anything).
+func addF(d, w float64) float64 {
+	if math.IsInf(d, 1) {
+		return d
+	}
+	return d + w
+}
+
+// RepairRowRemove repairs the shortest-path row dist from src (valid for g
+// before the undirected edge (u,v,w) was deleted) so it is valid for g
+// after the deletion; g must no longer contain the edge, and w is the
+// weight the edge had. Only vertices whose every shortest path crossed the
+// deleted edge can change; the repair finds that set by walking tight
+// edges (dist[y] == dist[x] + w(x,y)) from the far endpoint, then
+// recomputes exactly those vertices with a boundary-seeded Dijkstra.
+//
+// If the potentially-affected set exceeds budget, the row is left exactly
+// as it was and ok is false: the caller should fall back to a full
+// Dijkstra (or drop the row). On success ok is true and changed counts the
+// recomputed entries.
+func (g *Graph) RepairRowRemove(dist []float64, src, u, v int, w float64, budget int) (changed int, ok bool) {
+	if math.IsInf(w, 1) {
+		return 0, true // an unbuyable edge never carried a shortest path
+	}
+	// Roots: endpoints whose distance was supported through the deleted
+	// edge and have no alternative tight support left. If both endpoints
+	// keep a support, no distance in the row can change. The source is
+	// its own support and is never a root.
+	var roots []int
+	for _, e := range [2][2]int{{u, v}, {v, u}} {
+		far, near := e[0], e[1]
+		if far == src || dist[far] != addF(dist[near], w) || math.IsInf(dist[far], 1) {
+			continue
+		}
+		if !g.hasStrictSupport(dist, far) {
+			roots = append(roots, far)
+		}
+	}
+	if len(roots) == 0 {
+		return 0, true
+	}
+
+	// Phase 1: the potentially-affected set — everything reachable from a
+	// root via tight edges in the remaining graph. This overestimates the
+	// truly-affected set (a vertex with an untouched alternative support
+	// is collected anyway) but never misses a vertex whose distance must
+	// change, and phase 2 recomputes members from scratch either way.
+	affected := map[int]bool{}
+	queue := make([]int, 0, len(roots))
+	for _, r := range roots {
+		if !affected[r] {
+			affected[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		x := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		dx := dist[x]
+		for _, e := range g.adj[x] {
+			if math.IsInf(e.w, 1) || affected[e.to] || e.to == src {
+				continue
+			}
+			if dist[e.to] == dx+e.w {
+				if len(affected) >= budget {
+					return 0, false
+				}
+				affected[e.to] = true
+				queue = append(queue, e.to)
+			}
+		}
+	}
+
+	// Phase 2: recompute the affected vertices. Seed each from its best
+	// unaffected neighbor (whose distance is proven unchanged), then run
+	// Dijkstra over the wavefront; relaxations into unaffected vertices
+	// can never win (their value is already the minimum) so no guard is
+	// needed beyond the usual strict comparison.
+	h := newHeap(len(affected))
+	for x := range affected {
+		dist[x] = math.Inf(1)
+	}
+	for x := range affected {
+		best := math.Inf(1)
+		for _, e := range g.adj[x] {
+			if math.IsInf(e.w, 1) || affected[e.to] {
+				continue
+			}
+			if nd := addF(dist[e.to], e.w); nd < best {
+				best = nd
+			}
+		}
+		if !math.IsInf(best, 1) {
+			dist[x] = best
+			h.push(x, best)
+		}
+	}
+	for h.len() > 0 {
+		x, dx := h.pop()
+		if dx > dist[x] {
+			continue
+		}
+		for _, e := range g.adj[x] {
+			if math.IsInf(e.w, 1) {
+				continue
+			}
+			if nd := dx + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				h.push(e.to, nd)
+			}
+		}
+	}
+	return len(affected), true
+}
+
+// hasStrictSupport reports whether some remaining edge still certifies
+// dist[x] from strictly below: a neighbor z with dist[z] < dist[x] and
+// dist[z] + w(z,x) == dist[x]. Equal-distance supports (zero-weight ties)
+// are deliberately not counted — two zero-weight cycle mates can "support"
+// each other while both are grounded only through the deleted edge, so an
+// equal-distance support proves nothing. Treating such endpoints as roots
+// is conservative: phase 2 recomputes them and lands on the same values
+// whenever the tie was genuine.
+func (g *Graph) hasStrictSupport(dist []float64, x int) bool {
+	dx := dist[x]
+	for _, e := range g.adj[x] {
+		if math.IsInf(e.w, 1) || dist[e.to] >= dx {
+			continue
+		}
+		if dist[e.to]+e.w == dx {
+			return true
+		}
+	}
+	return false
+}

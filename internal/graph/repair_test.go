@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randRepairGraph builds a random graph whose weight distribution
+// stresses the repair paths: generic floats, exact ties (small integer
+// weights), zero-weight edges and +Inf edges.
+func randRepairGraph(rng *rand.Rand, n int, flavor string) *Graph {
+	g := New(n)
+	p := 0.25 + rng.Float64()*0.3
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() >= p {
+				continue
+			}
+			var w float64
+			switch flavor {
+			case "generic":
+				w = rng.Float64() * 10
+			case "ties":
+				w = float64(rng.Intn(3)) // 0, 1 or 2: heavy tie pressure
+			case "mixed":
+				switch rng.Intn(4) {
+				case 0:
+					w = 0
+				case 1:
+					w = math.Inf(1)
+				default:
+					w = float64(1+rng.Intn(4)) / 2
+				}
+			}
+			g.AddEdge(u, v, w)
+		}
+	}
+	return g
+}
+
+func rowsEqualBitwise(t *testing.T, got, want []float64, ctx string) {
+	t.Helper()
+	for i := range want {
+		gi, wi := got[i], want[i]
+		if gi != wi && !(math.IsInf(gi, 1) && math.IsInf(wi, 1)) {
+			t.Fatalf("%s: dist[%d] = %v, fresh Dijkstra = %v", ctx, i, gi, wi)
+		}
+	}
+}
+
+// TestRepairRowMatchesFreshDijkstra: after random interleaved edge
+// insertions and deletions, rows repaired incrementally for every source
+// must be bit-equal to fresh Dijkstra on the mutated graph.
+func TestRepairRowMatchesFreshDijkstra(t *testing.T) {
+	for _, flavor := range []string{"generic", "ties", "mixed"} {
+		flavor := flavor
+		t.Run(flavor, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 12; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				n := 6 + rng.Intn(10)
+				g := randRepairGraph(rng, n, flavor)
+				rows := make([][]float64, n)
+				for src := 0; src < n; src++ {
+					rows[src] = g.Dijkstra(src)
+				}
+				for step := 0; step < 60; step++ {
+					u := rng.Intn(n)
+					v := rng.Intn(n)
+					if u == v {
+						continue
+					}
+					if g.HasEdge(u, v) {
+						w := g.EdgeWeight(u, v)
+						g.RemoveEdge(u, v)
+						for src := 0; src < n; src++ {
+							if _, ok := g.RepairRowRemove(rows[src], src, u, v, w, n+1); !ok {
+								t.Fatalf("seed %d step %d: budget n+1 exceeded on an n-vertex graph", seed, step)
+							}
+						}
+					} else {
+						var w float64
+						switch flavor {
+						case "generic":
+							w = rng.Float64() * 10
+						case "ties":
+							w = float64(rng.Intn(3))
+						case "mixed":
+							w = []float64{0, math.Inf(1), 1, 1.5}[rng.Intn(4)]
+						}
+						g.AddEdge(u, v, w)
+						for src := 0; src < n; src++ {
+							g.RepairRowAdd(rows[src], u, v, w)
+						}
+					}
+					for src := 0; src < n; src++ {
+						rowsEqualBitwise(t, rows[src], g.Dijkstra(src), flavor)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRepairRowRemoveZeroWeightCycleGrounding pins the zero-weight
+// pathology the strict-support rule exists for: two zero-weight cycle
+// mates that "support" each other but are grounded only through the
+// deleted edge must both be detected as affected (and go to +Inf).
+func TestRepairRowRemoveZeroWeightCycleGrounding(t *testing.T) {
+	// s --5-- v --0-- u --0-- a, plus nothing else: removing (v,u)
+	// disconnects {u,a}, even though u and a keep tight "supports"
+	// via each other.
+	g := New(4)
+	s, v, u, a := 0, 1, 2, 3
+	g.AddEdge(s, v, 5)
+	g.AddEdge(v, u, 0)
+	g.AddEdge(u, a, 0)
+	dist := g.Dijkstra(s)
+	g.RemoveEdge(v, u)
+	if _, ok := g.RepairRowRemove(dist, s, v, u, 0, 64); !ok {
+		t.Fatal("repair unexpectedly exceeded budget")
+	}
+	rowsEqualBitwise(t, dist, g.Dijkstra(s), "zero-weight cycle")
+	if !math.IsInf(dist[u], 1) || !math.IsInf(dist[a], 1) {
+		t.Fatalf("u, a should be unreachable, got %v, %v", dist[u], dist[a])
+	}
+}
+
+// TestRepairRowRemoveBudgetFallback: when the affected set exceeds the
+// budget the row must be left exactly as it was.
+func TestRepairRowRemoveBudgetFallback(t *testing.T) {
+	// A long path from src: deleting the first edge affects every other
+	// vertex, so any budget below n-1 must refuse and leave the row alone.
+	n := 16
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	dist := g.Dijkstra(0)
+	before := append([]float64(nil), dist...)
+	g.RemoveEdge(0, 1)
+	if _, ok := g.RepairRowRemove(dist, 0, 0, 1, 1, 3); ok {
+		t.Fatal("expected budget refusal")
+	}
+	rowsEqualBitwise(t, dist, before, "refused repair must not touch the row")
+	if _, ok := g.RepairRowRemove(dist, 0, 0, 1, 1, n); !ok {
+		t.Fatal("budget n should suffice")
+	}
+	rowsEqualBitwise(t, dist, g.Dijkstra(0), "after retry with larger budget")
+}
+
+// TestRepairRowAddChangedCountsVertices: the returned count is distinct
+// changed entries, not relaxations — a vertex the wavefront improves
+// twice (first via a far frontier vertex, then via a closer one) counts
+// once.
+func TestRepairRowAddChangedCountsVertices(t *testing.T) {
+	// Path 0-1-2-3-4 (unit weights) with (4,5) of weight 10 and a side
+	// edge (3,5) of weight 1. Inserting (0,4) of weight 1 improves 4
+	// (4→1), 3 (3→2) and 5 twice (4→11 via vertex 4, then →3 via 3).
+	g := New(6)
+	for i := 0; i+1 < 5; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	g.AddEdge(4, 5, 10)
+	g.AddEdge(3, 5, 1)
+	dist := g.Dijkstra(0)
+	g.AddEdge(0, 4, 1)
+	if c := g.RepairRowAdd(dist, 0, 4, 1); c != 3 {
+		t.Fatalf("changed = %d, want 3 (vertices 3, 4, 5)", c)
+	}
+	rowsEqualBitwise(t, dist, g.Dijkstra(0), "double-improvement insert")
+}
+
+// TestRepairRowAddInfEdgeIsNoop: inserting an unbuyable (+Inf) edge never
+// changes a distance.
+func TestRepairRowAddInfEdgeIsNoop(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 2)
+	dist := g.Dijkstra(0)
+	g.AddEdge(1, 2, math.Inf(1))
+	if c := g.RepairRowAdd(dist, 1, 2, math.Inf(1)); c != 0 {
+		t.Fatalf("inf insertion changed %d entries", c)
+	}
+	rowsEqualBitwise(t, dist, g.Dijkstra(0), "inf add")
+}
