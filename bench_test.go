@@ -726,6 +726,29 @@ func benchmarkGreedyRound(b *testing.B, n int, incremental bool) {
 func BenchmarkGreedyRound500(b *testing.B)         { benchmarkGreedyRound(b, 500, true) }
 func BenchmarkGreedyRoundBaseline500(b *testing.B) { benchmarkGreedyRound(b, 500, false) }
 
+// BenchmarkConvergence1k is the equilibrium ladder's unit of work: full
+// greedy dynamics to a verified equilibrium (no improving single-edge
+// move) on a 1000-point ℓ2 host from a star seed, through the lazy
+// delta-log cache and the incremental cost aggregates. The reported
+// rounds/moves pin the workload's shape into the baseline artifact
+// alongside its time.
+func BenchmarkConvergence1k(b *testing.B) {
+	n := 1000
+	g := game.New(game.NewHost(gen.Points(13, n, 2, 1000, 2)), float64(n))
+	var res dynamics.ConvergenceResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := game.NewState(g, game.StarProfile(n, 0))
+		b.StartTimer()
+		res = dynamics.RunToConvergence(s, dynamics.GreedyMover, dynamics.RoundRobin{},
+			dynamics.Budget{MaxRounds: 32, MaxMoves: 20 * n})
+	}
+	b.ReportMetric(float64(res.Rounds), "rounds")
+	b.ReportMetric(float64(res.Moves), "moves")
+	reportVerified(b, res.Outcome == dynamics.Converged)
+}
+
 // benchmarkGreedyStableScan measures the scan in its pruning-friendly
 // regime: large α makes the star a (near-)greedy-equilibrium, so the
 // bounds prove nearly every candidate non-improving and the scan is

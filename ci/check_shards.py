@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Assert that merged shard output is byte-identical to an unsharded run.
+
+Usage: check_shards.py FULL.json SHARD.json [SHARD.json ...]
+
+Every result cell (one JSON line carrying a "seq" field) of the shard
+files, reordered by global sequence number, must equal the corresponding
+cell of the full run byte-for-byte — the sweep engine's determinism
+contract. Shared by the per-push CI quick sweep and the scale-nightly
+workflow.
+"""
+
+import re
+import sys
+
+
+def cells(path):
+    with open(path) as f:
+        return [line.strip().rstrip(",") for line in f if '"seq"' in line]
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.exit("usage: check_shards.py FULL.json SHARD.json [SHARD.json ...]")
+    full = cells(argv[1])
+    parts = []
+    for path in argv[2:]:
+        parts.extend(cells(path))
+    parts.sort(key=lambda l: int(re.search(r'"seq": (\d+)', l).group(1)))
+    if parts != full:
+        for a, b in zip(full, parts):
+            if a != b:
+                print("DIVERGENT CELL:\nfull : %s\nmerge: %s" % (a, b))
+                break
+        if len(parts) != len(full):
+            print("cell count: full run %d, merged shards %d" % (len(full), len(parts)))
+        sys.exit("merged shard output differs from unsharded run")
+    print("OK: %d cells byte-identical" % len(full))
+
+
+if __name__ == "__main__":
+    main(sys.argv)

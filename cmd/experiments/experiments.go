@@ -52,6 +52,7 @@ func registerAll() {
 	registerTable1()
 	registerScale()
 	registerScaleGreedy()
+	registerEquilibrium()
 }
 
 func seeds(full, quick int, isQuick bool) []int64 {
@@ -1012,6 +1013,137 @@ func registerScaleGreedy() {
 				"repair_bitexact", report.Check(bitExact),
 				"edges_after", s.Network().M(),
 				"social_cost_after", s.SocialCost())}
+		},
+	})
+}
+
+// equilibriumPathN is the largest rung that runs full rewiring dynamics
+// from a deliberately-bad start (a path profile): thousands of applied
+// moves before convergence. equilibriumExactN is the largest rung whose
+// reached equilibrium is re-verified against the exact (unpruned) move
+// oracle for every agent. Rungs above equilibriumPathN certify at scale
+// instead: they start from a star that the per-class α makes a (near-)
+// equilibrium, so the run converges within a small deterministic round
+// budget; above equilibriumExactN the oracle checks a deterministic
+// 48-agent sample (an exhaustive exact scan at n = 10⁴ would dominate
+// the whole sweep, and exact scans at path-derived equilibria cost
+// ~100× their star-state price because every speculative edge change
+// repairs far more distances).
+const (
+	equilibriumPathN  = 1000
+	equilibriumExactN = 2500
+)
+
+// equilibriumConfig picks, per host class, parameters under which greedy
+// round-robin dynamics converge (pinned by the nightly gate). The
+// choices are deliberate:
+//
+//   - tree metrics: α = n, path start up to equilibriumPathN. The
+//     rewiring tier: dynamics converge in a handful of rounds through
+//     hundreds-to-thousands of applied moves, to near-optimal
+//     equilibria (poa_vs_lb ≈ 1.002–1.01 — Cor. 3 territory: tree
+//     hosts have PoS 1).
+//   - ℓ2 points: α = 16n from the star. Path-start greedy dynamics on
+//     ℓ2 hosts hit genuine improving-move cycles (n = 500 cycles
+//     forever where n = 250 and n = 1000 converge — found while tuning
+//     this ladder, consistent with the paper's Conjecture 1 that
+//     p-norm GNCGs lack the FIP), so the ℓ2 rungs certify star
+//     equilibria instead of promising a convergence no theorem backs.
+//   - 1-2 hosts: α = 3 from the star, which Thm 10 makes a Nash (hence
+//     greedy) equilibrium at every n: the rung certifies stability at
+//     scale — low-α 1-2 dynamics buy Θ(n²) edges and are not a
+//     feasible full-convergence workload.
+func equilibriumConfig(class string, n int) (h *game.Host, alpha float64, start game.Profile) {
+	switch class {
+	case "l2":
+		h, alpha = game.NewHost(gen.Points(13, n, 2, 1000, 2)), 16*float64(n)
+	case "tree":
+		h, alpha = game.NewHost(gen.Tree(13, n, 1, 6)), float64(n)
+	case "onetwo":
+		h, alpha = game.NewHost(gen.OneTwo(13, n, 0.3)), 3
+	default:
+		panic(fmt.Sprintf("unknown equilibrium host class %q", class))
+	}
+	if class == "tree" && n <= equilibriumPathN {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return h, alpha, game.PathProfile(n, order)
+	}
+	return h, alpha, game.StarProfile(n, 0)
+}
+
+// registerEquilibrium is the paper's headline empirical claim run at
+// scale: greedy dynamics played to convergence (not a bounded move
+// sample) on ℓ2, tree and 1-2 hosts across an n-ladder to 10⁴, with the
+// empirical Price of Anarchy measured against the certified optimum
+// lower bound α·MST(H) + Σ d_H (opt.LowerBound). Convergence itself
+// certifies a greedy equilibrium under the pruned scan; the exact oracle
+// re-verifies it (all agents up to n = 2500, a deterministic sample
+// beyond). Budgets are deterministic (rounds/moves, never wall clock),
+// so cells stay byte-identical under sharding.
+func registerEquilibrium() {
+	sweep.Register(sweep.Experiment{
+		Name: "equilibrium", Title: "Scale: greedy dynamics to convergence — equilibrium ladder with empirical PoA",
+		Note: "tree rungs <= 1000 play path-start rewiring dynamics to convergence; " +
+			"other cells certify star equilibria (path-start l2 dynamics can cycle — " +
+			"Conjecture 1). The exact unpruned oracle re-verifies every agent up to " +
+			"n = 2500 and a deterministic sample beyond. poa_vs_lb divides the final " +
+			"social cost by a certified OPT lower bound, so it upper-bounds the " +
+			"state's true ratio: the rewiring tier lands near 1 (the paper's Sec. 5 " +
+			"near-optimality observations), while star certification at large alpha " +
+			"sits at the star/MST weight ratio — far below the (alpha+2)/2 bound.",
+		Tags: []string{"scale", "dynamics", "equilibrium"},
+		Grid: func(quick bool) sweep.Grid {
+			g := sweep.Grid{Hosts: []string{"l2", "tree", "onetwo"},
+				Ns: []int{500, 1000, 2500, 5000, 10000}}
+			if quick {
+				g.Ns = []int{250, 500}
+			}
+			return g
+		},
+		Run: func(p sweep.Params) []sweep.Record {
+			n := p.N
+			h, alpha, start := equilibriumConfig(p.Host, n)
+			g := game.New(h, alpha)
+			s := game.NewState(g, start)
+			// The round cap guards hypothetical cycling (every cell must
+			// terminate deterministically); the validated configurations
+			// converge well inside it.
+			budget := dynamics.Budget{MaxRounds: 32, MaxMoves: 20 * n}
+			res := dynamics.RunToConvergence(s, dynamics.GreedyMover, dynamics.RoundRobin{}, budget)
+			lb := opt.LowerBound(g)
+
+			verified := "-"
+			if res.Outcome == dynamics.Converged {
+				if n <= equilibriumExactN {
+					ok := true
+					for u := 0; u < n && ok; u++ {
+						_, _, improving := s.BestSingleMoveExact(u)
+						ok = !improving
+					}
+					verified = report.Check(ok)
+				} else {
+					// 48 distinct agents, drawn without replacement.
+					sample := p.RNG().Perm(n)[:48]
+					ok := true
+					for _, u := range sample {
+						_, _, improving := s.BestSingleMoveExact(u)
+						if improving {
+							ok = false
+							break
+						}
+					}
+					verified = report.Check(ok) + " (sampled)"
+				}
+			}
+			return []sweep.Record{sweep.R("host", p.Host, "n", n, "alpha", alpha,
+				"outcome", res.Outcome.String(),
+				"rounds", res.Rounds, "moves", res.Moves,
+				"social_cost", res.SocialCost, "opt_lb", lb,
+				"poa_vs_lb", res.PoA(lb),
+				"exact_oracle_ne", verified)}
 		},
 	})
 }

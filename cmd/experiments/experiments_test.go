@@ -36,7 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "thm1", "lemmas", "approx", "fig2", "thm5", "fig3", "thm9",
 		"thm10", "thm11", "thm12", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "thm18", "fig10", "thm20", "conj1", "ncg", "oneinf",
-		"empirical", "pos", "table1", "scale", "scale_greedy",
+		"empirical", "pos", "table1", "scale", "scale_greedy", "equilibrium",
 	}
 	if got := len(sweep.All()); got != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", got, len(want))

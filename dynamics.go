@@ -34,6 +34,33 @@ func RunGreedyDynamics(s *State, maxMoves int) DynamicsResult {
 	return dynamics.Run(s, dynamics.GreedyMover, dynamics.RoundRobin{}, maxMoves)
 }
 
+// ConvergenceBudget bounds a RunToConvergence call: deterministic round
+// and move caps plus an optional machine-dependent wall-clock backstop.
+// Zero values mean unlimited.
+type ConvergenceBudget = dynamics.Budget
+
+// ConvergenceResult reports how an equilibrium-seeking run ended,
+// including the final social cost; its PoA method divides by an optimum
+// bound (see SocialOptimumLowerBound) to give the empirical Price of
+// Anarchy of the reached state.
+type ConvergenceResult = dynamics.ConvergenceResult
+
+// RunToConvergence drives a mover/scheduler combination until a full
+// round passes with no improving move or the budget runs out. Unlike
+// RunDynamics it keeps no history and detects no cycles — O(1) per-move
+// overhead, the engine behind the equilibrium ladder at n = 10⁴. Use
+// GreedyMover with RoundRobinScheduler for the paper's greedy dynamics.
+func RunToConvergence(s *State, mover Mover, sched Scheduler, b ConvergenceBudget) ConvergenceResult {
+	return dynamics.RunToConvergence(s, mover, sched, b)
+}
+
+// RunGreedyDynamicsToConvergence plays greedy single-edge moves in
+// round-robin order until no agent can improve (a verified greedy
+// equilibrium) or the budget is exhausted.
+func RunGreedyDynamicsToConvergence(s *State, b ConvergenceBudget) ConvergenceResult {
+	return dynamics.RunToConvergence(s, dynamics.GreedyMover, dynamics.RoundRobin{}, b)
+}
+
 // RunAddOnlyDynamics iterates best single buys until no agent wants
 // another edge: an add-only equilibrium, reached in at most ~n² moves.
 // Start from a connected profile (e.g. StarProfile) for meaningful

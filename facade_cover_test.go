@@ -5,6 +5,32 @@ import (
 	"testing"
 )
 
+func TestRunToConvergenceFacade(t *testing.T) {
+	host, err := HostFromPoints([][]float64{{0, 0}, {9, 0}, {0, 7}, {6, 6}, {3, 1}, {8, 3}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGame(host, 1.5)
+	s := NewState(g, StarProfile(g.N(), 0))
+	res := RunGreedyDynamicsToConvergence(s, ConvergenceBudget{MaxRounds: 100})
+	if res.Outcome != Converged {
+		t.Fatalf("6-agent greedy dynamics did not converge: %+v", res)
+	}
+	if res.SocialCost != s.SocialCost() {
+		t.Fatalf("recorded social cost %v != state's %v", res.SocialCost, s.SocialCost())
+	}
+	lb := SocialOptimumLowerBound(g)
+	if poa := res.PoA(lb); poa < 1-1e-9 || math.IsInf(poa, 1) {
+		t.Fatalf("PoA vs certified lower bound: %v", poa)
+	}
+	// The generic entry point; a converged state stays converged (the
+	// single scanning round finds no improving move).
+	res = RunToConvergence(s, GreedyMover, RoundRobinScheduler(), ConvergenceBudget{})
+	if res.Outcome != Converged || res.Moves != 0 {
+		t.Fatalf("re-run on converged state: %+v", res)
+	}
+}
+
 func TestRemainingFacadeSurface(t *testing.T) {
 	if !math.IsInf(Inf(), 1) {
 		t.Fatal("Inf() must be +Inf")

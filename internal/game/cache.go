@@ -7,45 +7,111 @@ import (
 )
 
 // distCache memoizes shortest-path computations on the created network
-// G(s): per-source Dijkstra rows (backing DistCost/Cost/SocialCost) and
-// per-removed-vertex APSP matrices (backing the best-response reduction's
-// G∖u distances). Entries are stamped with the network version they were
-// computed against; the version advances on every edge change.
+// G(s): per-source Dijkstra rows (backing DistCost/Cost/SocialCost), the
+// per-row traffic-weighted distance-sum aggregates that make repeated
+// cost queries O(1) (see aggregate.go), and per-removed-vertex APSP
+// matrices (backing the best-response reduction's G∖u distances).
 //
-// Single-edge changes — the buy/delete/swap moves all dynamics are built
-// from — do not discard the rows: they are repaired in place with the
-// dynamic shortest-path primitives of internal/graph (Ramalingam–Reps
-// style) and re-stamped onto the new version, so a repaired row is
-// bit-identical to a fresh Dijkstra on the mutated network. A row whose
-// affected set exceeds the repair budget keeps its dead stamp and is
-// recomputed lazily on the next query. Bulk strategy replacements and the
-// G∖u matrices fall back to wholesale invalidation (bump).
+// The cache is lazy: an applied edge change never touches a cached row.
+// Every single-edge mutation appends one delta to a bounded log and
+// advances the head position; a row carries the position it was last
+// valid at and is brought current on its next read by collapsing the
+// pending deltas into a net edge diff and repairing the row across that
+// diff in one batch (graph.RepairRowBatch — Ramalingam–Reps removals
+// against the pre-addition graph, then a shared insertion wavefront).
+// A repaired row is bit-identical to a fresh Dijkstra on the current
+// network, so laziness is unobservable in values. Rows that fall behind
+// the log's compaction horizon, or whose removal repair exceeds its
+// budget, are dropped and recomputed on demand. Bulk strategy
+// replacements bump: the log is discarded and every row expires.
 //
-// Version stamps come from a monotone sequence that is never reused, which
-// makes speculative evaluation cheap to undo: CostAfter snapshots the
-// version, mutates, evaluates, reverts the mutation and then re-tags the
-// still-consistent entries with a fresh stamp (restore). After an exact
-// undo two kinds of entry are consistent: entries untouched since the
-// snapshot (the network is back to the identical edge set) and entries
-// carrying the current version (they were repaired across both the move
-// and its inverse, or computed after the revert). Everything else keeps a
-// dead stamp and can never be mistaken for current again.
+// Positions also make speculative evaluation cheap to undo: CostAfter
+// snapshots the head, mutates, evaluates, exactly reverts the mutation
+// and calls restore, which rewinds the head to the snapshot — rows that
+// were current before the speculation never notice it, rows read during
+// it are batch-repaired across the leftover deltas (usually a net-zero
+// diff) and land back on the snapshot position, and the speculative log
+// suffix is dropped.
 //
-// The cache is safe for concurrent read-side use (parallel cost queries on
-// distinct sources, as in IsNash and TotalDistCost); mutation of the state
-// itself remains single-threaded, as documented on State. Because repair
-// rewrites rows in place, a slice returned by Dist is only valid until the
-// state's next mutation.
+// Cached rows are capped (rowCacheCap) so the cache holds O(cap·n)
+// floats, not O(n²), at scale; a clock sweep evicts stale rows first.
+// Eviction and laziness change which queries are cache hits but never
+// their values, so results stay byte-deterministic under any schedule.
+//
+// The cache is safe for concurrent read-side use (parallel cost queries
+// on distinct sources, as in IsNash and TotalDistCost); mutation of the
+// state itself remains single-threaded, as documented on State. Because
+// repair rewrites rows in place, a slice returned by Dist is only valid
+// until the state's next mutation.
 type distCache struct {
-	mu       sync.Mutex
-	seq      uint64 // stamp supply; strictly increasing, never reused
-	version  uint64 // stamp of the current network
-	rows     [][]float64
-	rowVer   []uint64
+	mu sync.Mutex
+
+	// Delta-log positions. head counts every network change ever applied
+	// (one per single-edge delta, one per bump); log[i] is the delta that
+	// took the network from position base+i to base+i+1, so the log
+	// covers (base, head] and len(log) == head-base. base advances on
+	// compaction and jumps to head on bump.
+	head uint64
+	base uint64
+	log  []edgeDelta
+
+	rows   [][]float64
+	rowPos []uint64
+	agg    []rowAgg
+	cached int // non-nil rows
+	cap    int // max cached rows
+	clock  int // eviction sweep pointer
+
 	avoid    [][][]float64 // avoid[u]: APSP of G(s) with vertex u removed
-	avoidVer []uint64
-	off      bool
+	avoidPos []uint64
+
+	// Speculation bookkeeping: while a snapshot is outstanding, every row
+	// or matrix whose position is (re)assigned is recorded so restore can
+	// fix up exactly the entries the speculation touched instead of
+	// scanning all n, and the first time a row is repaired inside the
+	// window its pre-repair contents are journaled (one memcopy) so
+	// restore can swap them back instead of repairing in reverse — on
+	// tie-heavy hosts the reverse removal repair routinely blows its
+	// affected-set budget and would cost a fresh Dijkstra per speculative
+	// candidate. Overlapping snapshots (not produced by CostAfter, but
+	// tolerated) drop the journals and degrade to a full scan.
+	specDepth   int
+	specOverlap bool
+	restoring   bool
+	specRows    []int
+	specAvoid   []int
+	specSaved   []rowJournal
+	rowPool     [][]float64 // spare row buffers recycled through the journal
+
+	// Dirty-block scratch for aggregate maintenance (see aggregate.go).
+	aggDirty     []int
+	aggDirtyFlag []bool
+
+	off bool
 }
+
+// edgeDelta is one logged single-edge network change.
+type edgeDelta struct {
+	u, v int
+	w    float64
+	add  bool
+}
+
+// rowJournal is one row's pre-speculation state: the contents and
+// aggregate it had at position pos, saved before the speculation's first
+// repair touched it.
+type rowJournal struct {
+	i   int
+	pos uint64
+	row []float64
+	agg rowAgg
+}
+
+// maxPendingDeltas bounds the delta log. A row further behind than the
+// log's horizon cannot be replayed and recomputes from scratch; past a
+// hundred or so collapsed deltas the batch repair would approach the
+// price of a fresh Dijkstra anyway.
+const maxPendingDeltas = 96
 
 // avoidCacheMaxN bounds the vertex count for which G∖u matrices are
 // cached: each entry is n² floats and up to n of them can be live, so the
@@ -53,116 +119,325 @@ type distCache struct {
 // are exponential anyway), wasteful beyond it.
 const avoidCacheMaxN = 128
 
+// rowCacheCap returns the maximum number of cached distance rows for an
+// n-agent state: every row up to a ~256 MiB row budget, so small and
+// mid-size states cache everything and a 10k-agent state holds a few
+// thousand rows instead of an 800 MB dense matrix. It is a variable so
+// tests can force eviction on small states.
+var rowCacheCap = func(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	c := (256 << 20) / (8 * n)
+	if c < 64 {
+		c = 64
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}
+
 func newDistCache(n int, off bool) *distCache {
 	return &distCache{
-		rows:     make([][]float64, n),
-		rowVer:   make([]uint64, n),
-		avoid:    make([][][]float64, n),
-		avoidVer: make([]uint64, n),
-		// version starts at seq = 0; rowVer entries are also 0, so rows
-		// are nil-checked before the stamp comparison.
-		off: off,
+		rows:         make([][]float64, n),
+		rowPos:       make([]uint64, n),
+		agg:          make([]rowAgg, n),
+		cap:          rowCacheCap(n),
+		avoid:        make([][][]float64, n),
+		avoidPos:     make([]uint64, n),
+		aggDirtyFlag: make([]bool, (n+aggBlock-1)/aggBlock),
+		off:          off,
 	}
 }
 
-// bump marks the network as changed: all cached entries become stale.
+// bump marks the network as changed in a way no logged delta describes:
+// all cached entries expire and nothing older than the bump can ever be
+// replayed.
 func (c *distCache) bump() {
 	c.mu.Lock()
-	c.seq++
-	c.version = c.seq
+	c.head++
+	c.base = c.head
+	c.log = c.log[:0]
 	c.mu.Unlock()
 }
 
-// edgeAdded advances the version across the insertion of edge (u,v,w)
-// into net (already mutated) and repairs every currently-valid row in
-// place, carrying it onto the new version. The G∖u matrices are not
-// repaired and implicitly expire.
-func (c *distCache) edgeAdded(net *graph.Graph, u, v int, w float64) {
+// edgeChanged records the insertion (added=true) or deletion of edge
+// (u,v,w) in net, which the caller has already mutated. O(1): no cached
+// row is touched — each repairs itself against the log on its next read.
+func (c *distCache) edgeChanged(u, v int, w float64, added bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.seq++
-	nv := c.seq
-	if !c.off {
-		for i, row := range c.rows {
-			if row == nil || c.rowVer[i] != c.version {
-				continue
-			}
-			net.RepairRowAdd(row, u, v, w)
-			c.rowVer[i] = nv
-		}
+	c.head++
+	c.log = append(c.log, edgeDelta{u: u, v: v, w: w, add: added})
+	if len(c.log) > maxPendingDeltas {
+		drop := len(c.log) - maxPendingDeltas
+		c.base += uint64(drop)
+		c.log = append(c.log[:0], c.log[drop:]...)
 	}
-	c.version = nv
+	c.mu.Unlock()
 }
 
 // repairBudget supplies the affected-set budget for removal repair. It is
-// a variable so tests can force the fallback path (rows dropped to a dead
-// stamp and recomputed lazily) on graphs small enough that the default
+// a variable so tests can force the fallback path (rows dropped and
+// recomputed from scratch) on graphs small enough that the default
 // budget would otherwise never be exceeded.
 var repairBudget = graph.DefaultRepairBudget
 
-// edgeRemoved is edgeAdded's counterpart for deleting edge (u,v) of
-// weight w from net (already mutated). Rows whose affected set exceeds
-// the repair budget are left behind on the dead version and recomputed
-// lazily on their next query.
-func (c *distCache) edgeRemoved(net *graph.Graph, u, v int, w float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.seq++
-	nv := c.seq
-	if !c.off {
-		budget := repairBudget(len(c.rows))
-		for i, row := range c.rows {
-			if row == nil || c.rowVer[i] != c.version {
-				continue
-			}
-			if _, ok := net.RepairRowRemove(row, i, u, v, w, budget); ok {
-				c.rowVer[i] = nv
-			}
+// pendingDiff collapses the logged deltas after position pos into the net
+// edge difference between the network at pos and the current network: a
+// pair flipped an even number of times cancels entirely (e.g. the
+// apply/undo pair of a speculative move), an odd number of times appears
+// once, on the side of its final flip. Order follows first appearance in
+// the log, keeping replay deterministic. Caller holds c.mu; pos must be
+// within the log's horizon (pos >= base).
+func (c *distCache) pendingDiff(pos uint64) (removed, added []graph.Edge) {
+	type flip struct {
+		e   graph.Edge
+		add bool
+		net bool // presence differs from the row's network
+	}
+	var flips []flip
+	idx := map[[2]int]int{}
+	for i := int(pos - c.base); i < len(c.log); i++ {
+		d := c.log[i]
+		key := [2]int{min(d.u, d.v), max(d.u, d.v)}
+		if j, ok := idx[key]; ok {
+			flips[j].net = !flips[j].net
+			flips[j].add = d.add
+			continue
+		}
+		idx[key] = len(flips)
+		flips = append(flips, flip{e: graph.Edge{U: d.u, V: d.v, W: d.w}, add: d.add, net: true})
+	}
+	for _, f := range flips {
+		if !f.net {
+			continue
+		}
+		if f.add {
+			added = append(added, f.e)
+		} else {
+			removed = append(removed, f.e)
 		}
 	}
-	c.version = nv
+	return removed, added
 }
 
-// snapshot returns the current version for a later restore.
+// replayRowLocked brings cached row i from its position to the current
+// head by batch-repairing it across the pending net diff, maintaining its
+// distance-sum aggregate incrementally (dirty blocks only). Returns false
+// if the repair refused (budget) — the row is dropped and the caller
+// should recompute. Caller holds c.mu and has checked rowPos[i] >= base.
+func (c *distCache) replayRowLocked(s *State, i int) bool {
+	removed, added := c.pendingDiff(c.rowPos[i])
+	if len(removed)+len(added) > 0 {
+		c.journalRowLocked(i)
+		row := c.rows[i]
+		mark := c.beginAggMark()
+		if !s.net.RepairRowBatch(row, i, removed, added, repairBudget(len(c.rows)), mark) {
+			c.clearAggScratch()
+			c.dropRowLocked(i)
+			return false
+		}
+		c.finishAggUpdate(s, i, row)
+	}
+	c.setRowPosLocked(i, c.head)
+	return true
+}
+
+// journalRowLocked saves row i's current contents and aggregate the
+// first time a speculation window is about to repair it, so restore can
+// swap the pre-speculation state back in O(1).
+func (c *distCache) journalRowLocked(i int) {
+	if c.specDepth == 0 || c.restoring || c.specOverlap {
+		return
+	}
+	for _, j := range c.specSaved {
+		if j.i == i {
+			return // first save wins: it is the pre-window state
+		}
+	}
+	a := c.agg[i]
+	a.blocks = append([]float64(nil), a.blocks...)
+	buf := c.getRowBufLocked(len(c.rows[i]))
+	copy(buf, c.rows[i])
+	c.specSaved = append(c.specSaved, rowJournal{
+		i:   i,
+		pos: c.rowPos[i],
+		row: buf,
+		agg: a,
+	})
+}
+
+func (c *distCache) getRowBufLocked(n int) []float64 {
+	if k := len(c.rowPool); k > 0 {
+		buf := c.rowPool[k-1]
+		c.rowPool = c.rowPool[:k-1]
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+func (c *distCache) setRowPosLocked(i int, pos uint64) {
+	c.rowPos[i] = pos
+	if c.specDepth > 0 && !c.restoring {
+		c.specRows = append(c.specRows, i)
+	}
+}
+
+func (c *distCache) dropRowLocked(i int) {
+	if c.rows[i] != nil {
+		c.rows[i] = nil
+		c.agg[i] = rowAgg{}
+		c.cached--
+	}
+}
+
+// insertRowLocked publishes a freshly computed row at position pos,
+// evicting another row first if the cache is at capacity.
+func (c *distCache) insertRowLocked(s *State, i int, row []float64, pos uint64) {
+	if c.rows[i] == nil && c.cached >= c.cap {
+		c.evictOneLocked(i)
+	}
+	if c.rows[i] == nil {
+		c.cached++
+	}
+	c.rows[i] = row
+	c.agg[i] = buildRowAgg(s, i, row)
+	c.setRowPosLocked(i, pos)
+}
+
+// evictOneLocked drops one cached row (never keep), preferring stale rows
+// — their loss costs at most a recompute that was plausibly due anyway —
+// via a clock sweep that makes eviction O(1) amortized.
+func (c *distCache) evictOneLocked(keep int) {
+	n := len(c.rows)
+	for pass := 0; pass < 2; pass++ {
+		for k := 0; k < n; k++ {
+			i := c.clock
+			c.clock++
+			if c.clock == n {
+				c.clock = 0
+			}
+			if i == keep || c.rows[i] == nil {
+				continue
+			}
+			if pass == 0 && c.rowPos[i] == c.head {
+				continue // first pass: stale rows only
+			}
+			c.dropRowLocked(i)
+			return
+		}
+	}
+}
+
+// snapshot opens a speculation window and returns the current head
+// position for a later restore.
 func (c *distCache) snapshot() uint64 {
 	c.mu.Lock()
-	v := c.version
-	c.mu.Unlock()
-	return v
+	defer c.mu.Unlock()
+	c.specDepth++
+	if c.specDepth > 1 {
+		c.specOverlap = true
+		c.specSaved = c.specSaved[:0] // ambiguous across windows: fall back to replay
+	}
+	return c.head
 }
 
 // restore declares the network identical to what it was at snapshot time
-// (the caller has exactly undone its speculative mutation). Entries
-// computed at the snapshot version are re-tagged with a fresh stamp and
-// become valid again, as are entries carrying the current version: those
-// were either repaired across the speculative move and its exact inverse
-// — which lands them bit-equal on the restored network — or computed
-// after the revert. Entries stranded on intermediate versions (e.g. rows
-// computed against the speculative network and then dropped by a repair
-// fallback) keep a dead stamp forever.
-func (c *distCache) restore(snap uint64) {
+// (the caller has exactly undone its speculative mutation). Rows that
+// were current at the snapshot were never touched and stay valid for
+// free. Rows read or computed during the speculation are batch-repaired
+// across whatever deltas still separate them from the current network —
+// for the apply/undo pair of a single speculative move the net diff is
+// empty, so the repair is a free re-stamp — and land back on the
+// snapshot position. The speculative log suffix is then dropped and the
+// head rewound, so speculation leaves no trace in the log.
+func (c *distCache) restore(s *State, snap uint64) {
 	c.mu.Lock()
-	c.seq++
-	nv := c.seq
-	for i, rv := range c.rowVer {
-		if c.rows[i] != nil && (rv == snap || rv == c.version) {
-			c.rowVer[i] = nv
+	defer c.mu.Unlock()
+	c.restoring = true
+	// Journaled rows swap their pre-speculation contents back: O(1), no
+	// reverse repair. (A journal can carry a mid-window position if the
+	// row was first re-stamped across an empty diff; those fall through
+	// to the generic replay below.)
+	for _, j := range c.specSaved {
+		if j.pos > snap {
+			c.rowPool = append(c.rowPool, j.row)
+			continue
+		}
+		if old := c.rows[j.i]; old == nil {
+			c.cached++ // resurrecting a row the window dropped
+		} else {
+			c.rowPool = append(c.rowPool, old)
+		}
+		c.rows[j.i] = j.row
+		c.agg[j.i] = j.agg
+		c.rowPos[j.i] = j.pos
+	}
+	c.specSaved = c.specSaved[:0]
+	rows, avoids := c.specRows, c.specAvoid
+	if c.specOverlap {
+		rows, avoids = seq(len(c.rows)), seq(len(c.avoid))
+	}
+	for _, i := range rows {
+		if c.rows[i] == nil || c.rowPos[i] <= snap {
+			continue
+		}
+		if c.rowPos[i] < c.head {
+			// A row stranded mid-speculation without a journal: bring it
+			// to the current (= snapshot) network by the same batch
+			// repair its next read would have run, before the speculative
+			// deltas are dropped. A refusal drops the row, losing only
+			// warmth.
+			if c.rowPos[i] < c.base || !c.replayRowLocked(s, i) {
+				c.dropRowLocked(i)
+				continue
+			}
+		}
+		if c.rowPos[i] == c.head {
+			c.rowPos[i] = snap
 		}
 	}
-	for i, av := range c.avoidVer {
-		if c.avoid[i] != nil && (av == snap || av == c.version) {
-			c.avoidVer[i] = nv
+	for _, i := range avoids {
+		if c.avoid[i] == nil || c.avoidPos[i] <= snap {
+			continue
+		}
+		if c.avoidPos[i] == c.head {
+			c.avoidPos[i] = snap
+		} else {
+			c.avoid[i] = nil
 		}
 	}
-	c.version = nv
-	c.mu.Unlock()
+	// Drop the speculative log suffix and rewind.
+	if snap >= c.base {
+		c.log = c.log[:snap-c.base]
+	} else {
+		c.log = c.log[:0]
+		c.base = snap
+	}
+	c.head = snap
+	c.restoring = false
+	c.specDepth--
+	if c.specDepth == 0 {
+		c.specRows = c.specRows[:0]
+		c.specAvoid = c.specAvoid[:0]
+		c.specOverlap = false
+	}
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
 }
 
 // Dist returns shortest-path distances from src in G(s), memoized until
 // the network next changes. Callers must not mutate the returned slice
-// and must not retain it across a state mutation: single-edge moves
-// repair cached rows in place, so the slice's contents track the current
-// network, not the network at call time.
+// and must not retain it across a state mutation: stale rows are
+// batch-repaired in place on read, so the slice's contents track the
+// current network, not the network at call time.
 func (s *State) Dist(src int) []float64 {
 	c := s.cache
 	c.mu.Lock()
@@ -170,21 +445,30 @@ func (s *State) Dist(src int) []float64 {
 		c.mu.Unlock()
 		return s.net.Dijkstra(src)
 	}
-	if c.rows[src] != nil && c.rowVer[src] == c.version {
-		row := c.rows[src]
-		c.mu.Unlock()
-		return row
+	if row := c.rows[src]; row != nil {
+		if c.rowPos[src] == c.head {
+			c.mu.Unlock()
+			return row
+		}
+		if c.rowPos[src] >= c.base {
+			if c.replayRowLocked(s, src) {
+				row = c.rows[src]
+				c.mu.Unlock()
+				return row
+			}
+			// Repair refused; the row was dropped — recompute below.
+		} else {
+			c.dropRowLocked(src) // behind the log horizon
+		}
 	}
-	ver := c.version
+	pos := c.head
 	c.mu.Unlock()
 	row := s.net.Dijkstra(src)
 	c.mu.Lock()
-	// Only publish if the network did not change while we computed; a
-	// concurrent reader may have published the same row already, which is
-	// harmless (identical content).
-	if c.version == ver {
-		c.rows[src] = row
-		c.rowVer[src] = ver
+	// Only publish if the network did not change while we computed and no
+	// concurrent reader beat us to it (identical content either way).
+	if c.head == pos && c.rows[src] == nil {
+		c.insertRowLocked(s, src, row, pos)
 	}
 	c.mu.Unlock()
 	return row
@@ -204,18 +488,21 @@ func (s *State) APSPAvoiding(avoid int) [][]float64 {
 		c.mu.Unlock()
 		return s.net.APSPAvoiding(avoid)
 	}
-	if c.avoid[avoid] != nil && c.avoidVer[avoid] == c.version {
+	if c.avoid[avoid] != nil && c.avoidPos[avoid] == c.head {
 		m := c.avoid[avoid]
 		c.mu.Unlock()
 		return m
 	}
-	ver := c.version
+	pos := c.head
 	c.mu.Unlock()
 	m := s.net.APSPAvoiding(avoid)
 	c.mu.Lock()
-	if c.version == ver {
+	if c.head == pos {
 		c.avoid[avoid] = m
-		c.avoidVer[avoid] = ver
+		c.avoidPos[avoid] = pos
+		if c.specDepth > 0 && !c.restoring {
+			c.specAvoid = append(c.specAvoid, avoid)
+		}
 	}
 	c.mu.Unlock()
 	return m
@@ -224,9 +511,9 @@ func (s *State) APSPAvoiding(avoid int) [][]float64 {
 // SetDistCaching toggles distance memoization on the state (on by
 // default). Turning it off makes every cost query recompute from scratch
 // — the uncached baseline used by benchmarks and correctness tests.
-// Version stamping continues while the toggle is off, so re-enabling is
-// always safe: entries that predate any interleaved mutation carry a dead
-// stamp and never revalidate.
+// Delta logging continues while the toggle is off, so re-enabling is
+// always safe: parked rows either replay across the logged changes or
+// fall behind the horizon and recompute.
 func (s *State) SetDistCaching(on bool) {
 	s.cache.mu.Lock()
 	s.cache.off = !on

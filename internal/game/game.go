@@ -155,8 +155,11 @@ type Game struct {
 	Eps   float64
 
 	// traffic holds optional per-pair demand weights (nil = uniform);
-	// see traffic.go.
-	traffic [][]float64
+	// see traffic.go. trafficEpoch counts SetTraffic calls so cached
+	// distance-sum aggregates (aggregate.go) detect demand changes and
+	// rebuild instead of serving sums for the old demands.
+	traffic      [][]float64
+	trafficEpoch uint64
 }
 
 // New returns a game on host h with parameter alpha and the default

@@ -1,0 +1,197 @@
+package game
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// assertCostsBitEqualUncached compares every agent's DistCost/Cost and
+// the social cost on s against a fresh uncached state bound to the same
+// profile, bit-for-bit: the aggregate fast path, incremental block
+// maintenance across repairs, and from-scratch recomputation must be
+// numerically indistinguishable, not merely close.
+func assertCostsBitEqualUncached(t *testing.T, s *State, ctx string, step int) {
+	t.Helper()
+	fresh := NewState(s.G, s.P.Clone())
+	fresh.SetDistCaching(false)
+	n := s.G.N()
+	bitEq := func(a, b float64) bool {
+		return a == b || (math.IsInf(a, 1) && math.IsInf(b, 1))
+	}
+	for u := 0; u < n; u++ {
+		if got, want := s.DistCost(u), fresh.DistCost(u); !bitEq(got, want) {
+			t.Fatalf("%s step %d: aggregate DistCost(%d) = %v, exact recomputation = %v",
+				ctx, step, u, got, want)
+		}
+		if got, want := s.Cost(u), fresh.Cost(u); !bitEq(got, want) {
+			t.Fatalf("%s step %d: aggregate Cost(%d) = %v, exact recomputation = %v",
+				ctx, step, u, got, want)
+		}
+	}
+	if got, want := s.SocialCost(), fresh.SocialCost(); !bitEq(got, want) {
+		t.Fatalf("%s step %d: aggregate SocialCost = %v, exact recomputation = %v", ctx, step, got, want)
+	}
+}
+
+// TestAggregateCostsBitEqualExact is the tentpole's numeric contract:
+// after randomized apply / speculative-evaluate / undo / bulk-replace
+// sequences on every host flavor, aggregate-based costs must be
+// bit-identical to exact recomputation on an uncached state.
+func TestAggregateCostsBitEqualExact(t *testing.T) {
+	for _, flavor := range repairFlavors {
+		flavor := flavor
+		t.Run(flavor, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 3; seed++ {
+				rng := rand.New(rand.NewSource(900 + seed))
+				n := 6 + rng.Intn(4)
+				g := New(repairHost(t, rng, n, flavor), 0.3+3*rng.Float64())
+				s := NewState(g, randProfile(rng, n, 0.3))
+				assertCostsBitEqualUncached(t, s, flavor, -1)
+				for step := 0; step < 30; step++ {
+					u := rng.Intn(n)
+					moves := s.CandidateMoves(u)
+					if len(moves) == 0 {
+						continue
+					}
+					m := moves[rng.Intn(len(moves))]
+					switch rng.Intn(4) {
+					case 0:
+						s.Apply(m)
+					case 1:
+						_ = s.CostAfter(m)
+					case 2:
+						old := s.P.S[u].Clone()
+						s.Apply(m)
+						_ = s.Cost(u)
+						s.SetStrategy(u, old)
+					case 3:
+						s.SetStrategy(u, randStrategy(rng, n, u))
+					}
+					assertCostsBitEqualUncached(t, s, flavor, step)
+				}
+			}
+		})
+	}
+}
+
+// TestAppliedMoveLeavesRowsLazy is the white-box laziness guard: applying
+// a move must only append to the delta log — no cached row may be
+// repaired or re-stamped eagerly — and the next read of any row must
+// still be bit-equal to a fresh Dijkstra.
+func TestAppliedMoveLeavesRowsLazy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 24
+	s := NewState(New(randCacheHost(rng, n), 2), StarProfile(n, 0))
+	for u := 0; u < n; u++ {
+		_ = s.Dist(u)
+	}
+	c := s.cache
+	head0 := c.head
+	pos0 := append([]uint64(nil), c.rowPos...)
+	s.Apply(Move{Agent: 1, Kind: Buy, V: 2})
+	if c.head != head0+1 {
+		t.Fatalf("head advanced by %d, want 1 delta", c.head-head0)
+	}
+	for i, p := range pos0 {
+		if c.rowPos[i] != p {
+			t.Fatalf("row %d was eagerly re-stamped on apply (pos %d -> %d)", i, p, c.rowPos[i])
+		}
+	}
+	assertRowsBitEqualFresh(t, s, "lazy apply", 0)
+	// ...and after the reads, rows are current again.
+	for i := range pos0 {
+		if c.rows[i] != nil && c.rowPos[i] != c.head {
+			t.Fatalf("row %d not brought current by read", i)
+		}
+	}
+}
+
+// TestLogCompactionFallsBackToRecompute parks a warm row across more
+// deltas than the log retains: the row falls behind the compaction
+// horizon and must be recomputed from scratch, never mis-replayed across
+// a truncated history.
+func TestLogCompactionFallsBackToRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 8
+	s := NewState(New(randCacheHost(rng, n), 1.5), StarProfile(n, 0))
+	_ = s.Dist(5)
+	pos := s.cache.rowPos[5]
+	for k := 0; k < maxPendingDeltas/2+12; k++ {
+		s.Apply(Move{Agent: 1, Kind: Buy, V: 3})
+		s.Apply(Move{Agent: 1, Kind: Delete, V: 3})
+	}
+	if s.cache.base <= pos {
+		t.Fatalf("log not compacted: base %d, row position %d", s.cache.base, pos)
+	}
+	assertRowsBitEqualFresh(t, s, "behind horizon", 0)
+}
+
+// TestRowCacheEviction runs the randomized corpus under a two-row cache
+// cap, so insertion constantly evicts, and requires every cost to stay
+// bit-equal to exact recomputation. Not parallel: it swaps the
+// package-level cap hook.
+func TestRowCacheEviction(t *testing.T) {
+	orig := rowCacheCap
+	rowCacheCap = func(int) int { return 2 }
+	defer func() { rowCacheCap = orig }()
+	rng := rand.New(rand.NewSource(21))
+	n := 8
+	g := New(randCacheHost(rng, n), 1.2)
+	s := NewState(g, StarProfile(n, 0))
+	if s.cache.cap != 2 {
+		t.Fatalf("cap hook not applied: %d", s.cache.cap)
+	}
+	for step := 0; step < 25; step++ {
+		u := rng.Intn(n)
+		moves := s.CandidateMoves(u)
+		if len(moves) == 0 {
+			continue
+		}
+		m := moves[rng.Intn(len(moves))]
+		if rng.Intn(2) == 0 {
+			s.Apply(m)
+		} else {
+			_ = s.CostAfter(m)
+		}
+		if s.cache.cached > 2 {
+			t.Fatalf("step %d: %d rows cached, cap 2", step, s.cache.cached)
+		}
+		assertCostsBitEqualUncached(t, s, "eviction", step)
+	}
+}
+
+// TestTrafficChangeRebuildsAggregates: installing a demand matrix after
+// aggregates exist must invalidate them — DistCost must serve the new
+// demands, bit-equal to an uncached state under the same traffic.
+func TestTrafficChangeRebuildsAggregates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 9
+	g := New(randCacheHost(rng, n), 2)
+	s := NewState(g, StarProfile(n, 0))
+	before := s.DistCost(3) // builds the uniform-demand aggregate
+	tr := make([][]float64, n)
+	for u := range tr {
+		tr[u] = make([]float64, n)
+		for v := range tr[u] {
+			if u != v {
+				tr[u][v] = 2
+			}
+		}
+	}
+	if err := g.SetTraffic(tr); err != nil {
+		t.Fatal(err)
+	}
+	got := s.DistCost(3)
+	if got == before {
+		t.Fatalf("DistCost ignored the traffic change: still %v", got)
+	}
+	assertCostsBitEqualUncached(t, s, "traffic epoch", 0)
+	if err := g.SetTraffic(nil); err != nil {
+		t.Fatal(err)
+	}
+	if back := s.DistCost(3); back != before {
+		t.Fatalf("DistCost after traffic reset = %v, want %v", back, before)
+	}
+}

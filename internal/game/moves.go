@@ -103,7 +103,7 @@ func (s *State) CostAfter(m Move) float64 {
 	s.Apply(m)
 	c := s.Cost(m.Agent)
 	s.SetStrategy(m.Agent, old)
-	s.cache.restore(snap)
+	s.cache.restore(s, snap)
 	return c
 }
 

@@ -67,11 +67,11 @@ func (s *State) Clone() *State {
 	}
 }
 
-// repairFlipLimit is the edge-change count up to which SetStrategy routes
-// cached rows through incremental repair instead of wholesale
-// invalidation: 2 covers every single-edge move (buy and delete flip one
-// edge, swap flips two), while bulk strategy replacements — where repair
-// would be re-run once per flipped edge — fall back to one bump.
+// repairFlipLimit is the edge-change count up to which SetStrategy logs
+// per-edge deltas for lazy row repair instead of wholesale invalidation:
+// 2 covers every single-edge move (buy and delete flip one edge, swap
+// flips two), while bulk strategy replacements — whose collapsed diff
+// would rarely be worth replaying — fall back to one bump.
 const repairFlipLimit = 2
 
 // edgeFlip records one network edge that a strategy change toggles.
@@ -113,11 +113,10 @@ func (s *State) SetStrategy(u int, strat bitset.Set) {
 		for _, f := range flips {
 			if f.add {
 				s.net.AddEdge(u, f.v, f.w)
-				s.cache.edgeAdded(s.net, u, f.v, f.w)
 			} else {
 				s.net.RemoveEdge(u, f.v)
-				s.cache.edgeRemoved(s.net, u, f.v, f.w)
 			}
+			s.cache.edgeChanged(u, f.v, f.w, f.add)
 		}
 	default:
 		for _, f := range flips {
@@ -140,21 +139,22 @@ func (s *State) EdgeCost(u int) float64 {
 
 // DistCost returns Σ_v t(u,v)·d_{G(s)}(u,v), where t is the game's
 // traffic matrix (uniformly 1 in the paper's model); +Inf if u cannot
-// reach a node it has positive demand towards.
+// reach a node it has positive demand towards. Cached rows answer in
+// O(1) from their maintained aggregate (see aggregate.go); uncached
+// queries fold the row in the same fixed shape, so the two paths are
+// bit-identical.
 func (s *State) DistCost(u int) float64 {
-	dist := s.Dist(u)
-	total := 0.0
-	for v, d := range dist {
-		if v == u {
-			continue
-		}
-		t := s.G.Traffic(u, v)
-		if t == 0 {
-			continue // zero demand tolerates disconnection
-		}
-		total += t * d
+	if total, ok := s.cache.aggTotal(s, u); ok {
+		return total
 	}
-	return total
+	row := s.Dist(u)
+	// Dist may have replayed or recomputed the row, publishing a current
+	// aggregate as a side effect; a second miss means caching is off (or
+	// the row was immediately evicted) — fold the row we hold.
+	if total, ok := s.cache.aggTotal(s, u); ok {
+		return total
+	}
+	return s.foldDistCost(u, row)
 }
 
 // Cost returns agent u's total cost α·w(u,S_u) + d_{G(s)}(u,V).

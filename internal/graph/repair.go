@@ -42,26 +42,49 @@ func DefaultRepairBudget(n int) int { return 16 + n/4 }
 // distance and returns 0 immediately. The same routine also repairs a
 // weight decrease of an existing edge.
 func (g *Graph) RepairRowAdd(dist []float64, u, v int, w float64) int {
-	if math.IsInf(w, 1) {
-		return 0
-	}
-	h := newHeap(8)
 	var touched map[int]bool // lazily allocated: the common case is no change
-	mark := func(x int) {
+	g.RepairRowAddMarked(dist, u, v, w, func(x int) {
 		if touched == nil {
 			touched = make(map[int]bool, 8)
 		}
 		touched[x] = true
+	})
+	return len(touched)
+}
+
+// RepairRowAddMarked is RepairRowAdd with a change hook: mark(x) fires
+// every time dist[x] is lowered, so callers maintaining derived state
+// (e.g. the game cache's distance-sum aggregates) learn exactly which
+// entries moved, in O(touched). A vertex that improves repeatedly during
+// the wavefront fires repeatedly — mark must be idempotent per vertex.
+func (g *Graph) RepairRowAddMarked(dist []float64, u, v int, w float64, mark func(x int)) {
+	g.repairAddBatch(dist, []Edge{{U: u, V: v, W: w}}, mark)
+}
+
+// repairAddBatch repairs dist (valid for g before the added edges were
+// inserted) across the simultaneous insertion of all of them: every
+// improvement any new edge enables seeds one shared wavefront, which then
+// relaxes in priority order exactly as Dijkstra would — so the repaired
+// values are the same left-to-right float path sums a fresh run computes.
+func (g *Graph) repairAddBatch(dist []float64, added []Edge, mark func(x int)) {
+	if mark == nil {
+		mark = func(int) {}
 	}
-	if nd := addF(dist[u], w); nd < dist[v] {
-		dist[v] = nd
-		h.push(v, nd)
-		mark(v)
-	}
-	if nd := addF(dist[v], w); nd < dist[u] {
-		dist[u] = nd
-		h.push(u, nd)
-		mark(u)
+	h := newHeap(8)
+	for _, e := range added {
+		if math.IsInf(e.W, 1) {
+			continue
+		}
+		if nd := addF(dist[e.U], e.W); nd < dist[e.V] {
+			dist[e.V] = nd
+			h.push(e.V, nd)
+			mark(e.V)
+		}
+		if nd := addF(dist[e.V], e.W); nd < dist[e.U] {
+			dist[e.U] = nd
+			h.push(e.U, nd)
+			mark(e.U)
+		}
 	}
 	for h.len() > 0 {
 		x, dx := h.pop()
@@ -75,11 +98,10 @@ func (g *Graph) RepairRowAdd(dist []float64, u, v int, w float64) int {
 			if nd := dx + e.w; nd < dist[e.to] {
 				dist[e.to] = nd
 				h.push(e.to, nd)
-				mark(e.to) // distinct vertices, not relaxations: a vertex can improve repeatedly
+				mark(e.to)
 			}
 		}
 	}
-	return len(touched)
 }
 
 // addF adds a finite weight to a possibly-infinite distance without
@@ -104,21 +126,97 @@ func addF(d, w float64) float64 {
 // Dijkstra (or drop the row). On success ok is true and changed counts the
 // recomputed entries.
 func (g *Graph) RepairRowRemove(dist []float64, src, u, v int, w float64, budget int) (changed int, ok bool) {
-	if math.IsInf(w, 1) {
-		return 0, true // an unbuyable edge never carried a shortest path
+	return g.RepairRowRemoveMarked(dist, src, u, v, w, budget, nil)
+}
+
+// RepairRowRemoveMarked is RepairRowRemove with a change hook: on success,
+// mark(x) fires exactly once for every vertex of the affected set (the
+// recomputed entries — a superset of the entries whose value actually
+// changed), so callers maintaining derived state learn which entries may
+// have moved, in O(affected). On failure (budget exceeded) the row is
+// untouched and mark never fires.
+func (g *Graph) RepairRowRemoveMarked(dist []float64, src, u, v int, w float64, budget int, mark func(x int)) (changed int, ok bool) {
+	n, ok := g.repairRemoveBatch(dist, src, []Edge{{U: u, V: v, W: w}}, nil, budget, mark)
+	return n, ok
+}
+
+// RepairRowBatch repairs the shortest-path row dist from src across an
+// arbitrary net edge difference applied to the graph: dist must be valid
+// for g with the `added` edges absent and the `removed` edges present
+// (weights as recorded); g must already be in its final state. The same
+// (u,v) pair must not appear in both lists — callers collapse histories
+// to a net diff first, which is what makes batch replay of a delta log
+// sound: repairing one logged delta at a time against the final adjacency
+// would violate each repair's precondition, while the net diff is a
+// single well-defined edit of the row's own network.
+//
+// The repair runs in two phases, each of which preserves bit-equality
+// with a fresh Dijkstra: first the removals are repaired against the
+// pre-addition graph (g with the added edges masked out), producing the
+// row of the intermediate network; then all additions seed one shared
+// insertion wavefront over the full graph. mark fires (possibly
+// repeatedly) for every entry that may have changed. If the removal
+// phase's affected set exceeds budget, dist is left untouched and ok is
+// false: the caller should recompute the row from scratch.
+func (g *Graph) RepairRowBatch(dist []float64, src int, removed, added []Edge, budget int, mark func(x int)) (ok bool) {
+	if len(removed) > 0 {
+		var skip map[[2]int]bool
+		if len(added) > 0 {
+			skip = make(map[[2]int]bool, len(added))
+			for _, e := range added {
+				skip[pairKey(e.U, e.V)] = true
+			}
+		}
+		if _, ok := g.repairRemoveBatch(dist, src, removed, skip, budget, mark); !ok {
+			return false
+		}
 	}
-	// Roots: endpoints whose distance was supported through the deleted
-	// edge and have no alternative tight support left. If both endpoints
-	// keep a support, no distance in the row can change. The source is
+	if len(added) > 0 {
+		g.repairAddBatch(dist, added, mark)
+	}
+	return true
+}
+
+func pairKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// repairRemoveBatch repairs dist across the simultaneous deletion of the
+// removed edges. The graph it repairs against is g minus the pairs in
+// skipAdd (edges inserted after the row's network state, masked out so
+// the removal phase sees exactly the row's own graph minus the removals);
+// g itself must no longer contain any removed edge.
+//
+// Only vertices whose every shortest path crossed a removed edge can
+// change; the repair finds that set by walking tight edges
+// (dist[y] == dist[x] + w(x,y)) from every unsupported far endpoint, then
+// recomputes exactly those vertices with a boundary-seeded Dijkstra.
+// If the potentially-affected set exceeds budget, the row is left exactly
+// as it was and ok is false. On success ok is true and changed counts the
+// recomputed entries.
+func (g *Graph) repairRemoveBatch(dist []float64, src int, removed []Edge, skipAdd map[[2]int]bool, budget int, mark func(x int)) (changed int, ok bool) {
+	// Roots: endpoints whose distance was supported through a deleted
+	// edge and have no alternative tight support left. If every endpoint
+	// keeps a support, no distance in the row can change. The source is
 	// its own support and is never a root.
 	var roots []int
-	for _, e := range [2][2]int{{u, v}, {v, u}} {
-		far, near := e[0], e[1]
-		if far == src || dist[far] != addF(dist[near], w) || math.IsInf(dist[far], 1) {
-			continue
+	isRoot := map[int]bool{}
+	for _, re := range removed {
+		if math.IsInf(re.W, 1) {
+			continue // an unbuyable edge never carried a shortest path
 		}
-		if !g.hasStrictSupport(dist, far) {
-			roots = append(roots, far)
+		for _, e := range [2][2]int{{re.U, re.V}, {re.V, re.U}} {
+			far, near := e[0], e[1]
+			if far == src || isRoot[far] || dist[far] != addF(dist[near], re.W) || math.IsInf(dist[far], 1) {
+				continue
+			}
+			if !g.hasStrictSupport(dist, far, skipAdd) {
+				isRoot[far] = true
+				roots = append(roots, far)
+			}
 		}
 	}
 	if len(roots) == 0 {
@@ -146,6 +244,9 @@ func (g *Graph) RepairRowRemove(dist []float64, src, u, v int, w float64, budget
 			if math.IsInf(e.w, 1) || affected[e.to] || e.to == src {
 				continue
 			}
+			if skipAdd != nil && skipAdd[pairKey(x, e.to)] {
+				continue
+			}
 			if dist[e.to] == dx+e.w {
 				if len(affected) >= budget {
 					return 0, false
@@ -161,6 +262,11 @@ func (g *Graph) RepairRowRemove(dist []float64, src, u, v int, w float64, budget
 	// Dijkstra over the wavefront; relaxations into unaffected vertices
 	// can never win (their value is already the minimum) so no guard is
 	// needed beyond the usual strict comparison.
+	if mark != nil {
+		for x := range affected {
+			mark(x)
+		}
+	}
 	h := newHeap(len(affected))
 	for x := range affected {
 		dist[x] = math.Inf(1)
@@ -169,6 +275,9 @@ func (g *Graph) RepairRowRemove(dist []float64, src, u, v int, w float64, budget
 		best := math.Inf(1)
 		for _, e := range g.adj[x] {
 			if math.IsInf(e.w, 1) || affected[e.to] {
+				continue
+			}
+			if skipAdd != nil && skipAdd[pairKey(x, e.to)] {
 				continue
 			}
 			if nd := addF(dist[e.to], e.w); nd < best {
@@ -189,6 +298,9 @@ func (g *Graph) RepairRowRemove(dist []float64, src, u, v int, w float64, budget
 			if math.IsInf(e.w, 1) {
 				continue
 			}
+			if skipAdd != nil && skipAdd[pairKey(x, e.to)] {
+				continue
+			}
 			if nd := dx + e.w; nd < dist[e.to] {
 				dist[e.to] = nd
 				h.push(e.to, nd)
@@ -205,11 +317,15 @@ func (g *Graph) RepairRowRemove(dist []float64, src, u, v int, w float64, budget
 // each other while both are grounded only through the deleted edge, so an
 // equal-distance support proves nothing. Treating such endpoints as roots
 // is conservative: phase 2 recomputes them and lands on the same values
-// whenever the tie was genuine.
-func (g *Graph) hasStrictSupport(dist []float64, x int) bool {
+// whenever the tie was genuine. Edges whose pair is in skipAdd (inserted
+// after the row's network state) are not remaining edges and never count.
+func (g *Graph) hasStrictSupport(dist []float64, x int, skipAdd map[[2]int]bool) bool {
 	dx := dist[x]
 	for _, e := range g.adj[x] {
 		if math.IsInf(e.w, 1) || dist[e.to] >= dx {
+			continue
+		}
+		if skipAdd != nil && skipAdd[pairKey(x, e.to)] {
 			continue
 		}
 		if dist[e.to]+e.w == dx {

@@ -184,3 +184,99 @@ func TestRepairRowAddInfEdgeIsNoop(t *testing.T) {
 	}
 	rowsEqualBitwise(t, dist, g.Dijkstra(0), "inf add")
 }
+
+// TestRepairRowBatchMatchesFreshDijkstra is the batch-repair property
+// behind the game cache's lazy delta replay: rows repaired across a net
+// edge diff (several removals and insertions collapsed into one edit)
+// must be bit-equal to fresh Dijkstra on the final graph, for every
+// source and for every weight flavor.
+func TestRepairRowBatchMatchesFreshDijkstra(t *testing.T) {
+	for _, flavor := range []string{"generic", "ties", "mixed"} {
+		flavor := flavor
+		t.Run(flavor, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 12; seed++ {
+				rng := rand.New(rand.NewSource(500 + seed))
+				n := 6 + rng.Intn(10)
+				g := randRepairGraph(rng, n, flavor)
+				rows := make([][]float64, n)
+				for src := 0; src < n; src++ {
+					rows[src] = g.Dijkstra(src)
+				}
+				for step := 0; step < 25; step++ {
+					// Build a random net diff of 1..4 edge flips on
+					// distinct pairs, mutating g accordingly.
+					var removed, added []Edge
+					flips := 1 + rng.Intn(4)
+					seen := map[[2]int]bool{}
+					for k := 0; k < flips; k++ {
+						u, v := rng.Intn(n), rng.Intn(n)
+						if u == v || seen[pairKey(u, v)] {
+							continue
+						}
+						seen[pairKey(u, v)] = true
+						if g.HasEdge(u, v) {
+							w := g.EdgeWeight(u, v)
+							g.RemoveEdge(u, v)
+							removed = append(removed, Edge{U: u, V: v, W: w})
+						} else {
+							var w float64
+							switch flavor {
+							case "generic":
+								w = rng.Float64() * 10
+							case "ties":
+								w = float64(rng.Intn(3))
+							case "mixed":
+								w = []float64{0, math.Inf(1), 1, 1.5}[rng.Intn(4)]
+							}
+							g.AddEdge(u, v, w)
+							added = append(added, Edge{U: u, V: v, W: w})
+						}
+					}
+					for src := 0; src < n; src++ {
+						marked := map[int]bool{}
+						before := append([]float64(nil), rows[src]...)
+						if !g.RepairRowBatch(rows[src], src, removed, added, n+1, func(x int) { marked[x] = true }) {
+							t.Fatalf("seed %d step %d: budget n+1 exceeded on an n-vertex graph", seed, step)
+						}
+						want := g.Dijkstra(src)
+						rowsEqualBitwise(t, rows[src], want, flavor+"/batch")
+						for x := range want {
+							same := rows[src][x] == before[x] ||
+								(math.IsInf(rows[src][x], 1) && math.IsInf(before[x], 1))
+							if !same && !marked[x] {
+								t.Fatalf("seed %d step %d src %d: entry %d changed (%v -> %v) without mark",
+									seed, step, src, x, before[x], rows[src][x])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRepairRowBatchBudgetRefusalUntouched: a batch whose removal phase
+// exceeds budget must leave the row exactly as it was, including when
+// insertions are batched alongside.
+func TestRepairRowBatchBudgetRefusalUntouched(t *testing.T) {
+	n := 16
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	dist := g.Dijkstra(0)
+	before := append([]float64(nil), dist...)
+	g.RemoveEdge(0, 1)
+	g.AddEdge(0, n-1, 1)
+	removed := []Edge{{U: 0, V: 1, W: 1}}
+	added := []Edge{{U: 0, V: n - 1, W: 1}}
+	if g.RepairRowBatch(dist, 0, removed, added, 3, nil) {
+		t.Fatal("expected budget refusal")
+	}
+	rowsEqualBitwise(t, dist, before, "refused batch must not touch the row")
+	if !g.RepairRowBatch(dist, 0, removed, added, n, nil) {
+		t.Fatal("budget n should suffice")
+	}
+	rowsEqualBitwise(t, dist, g.Dijkstra(0), "after batch retry with larger budget")
+}

@@ -324,10 +324,75 @@ func LocalSearch(g *game.Game, start []graph.Edge, eps float64, maxIters int) Re
 // any connected spanning subgraph has edge weight at least MST(H), and
 // every pairwise distance is at least the host's shortest-path distance,
 // so cost(OPT) >= α·MST + Σ_{ordered pairs} d_H(u,v).
+//
+// Metric hosts — including every implicit geometric/tree/1-2 space,
+// answered in O(1) via the Classifier capability — compute matrix-free:
+// d_H = w pointwise, the MST weight comes from an O(n) Prim scan over
+// implicit weights, and the pair sum folds deterministically in parallel.
+// O(n²) time, O(n) memory: the path the equilibrium ladder's PoA column
+// takes at n = 10⁴, where materializing the complete host graph (the
+// general fallback below) would cost gigabytes.
 func LowerBound(g *game.Game) float64 {
+	if g.Host.IsMetric(1e-9) {
+		return g.Alpha*metricMSTWeight(g.Host) + hostDistanceSum(g.Host)
+	}
 	full := hostGraph(g)
 	_, mstW := full.MST()
 	return g.Alpha*mstW + full.SumDistances()
+}
+
+// metricMSTWeight computes the MST weight of the complete host by Prim's
+// algorithm with an O(n) frontier array: O(n²) weight evaluations, no
+// materialized edges. Deterministic: the minimum-key vertex is chosen by
+// lowest index on ties and the weight folds in insertion order.
+func metricMSTWeight(h *game.Host) float64 {
+	n := h.N()
+	if n <= 1 {
+		return 0
+	}
+	inTree := make([]bool, n)
+	key := make([]float64, n)
+	for v := 1; v < n; v++ {
+		key[v] = h.Weight(0, v)
+	}
+	inTree[0] = true
+	total := 0.0
+	for round := 1; round < n; round++ {
+		best := -1
+		for v := 0; v < n; v++ {
+			if !inTree[v] && (best < 0 || key[v] < key[best]) {
+				best = v
+			}
+		}
+		inTree[best] = true
+		total += key[best]
+		for v := 0; v < n; v++ {
+			if !inTree[v] {
+				if w := h.Weight(best, v); w < key[v] {
+					key[v] = w
+				}
+			}
+		}
+	}
+	return total
+}
+
+// hostDistanceSum returns Σ over ordered pairs of w(u,v) — the metric
+// host's exact pairwise-distance sum — folded in the fixed parallel
+// reduction order so results are byte-deterministic.
+func hostDistanceSum(h *game.Host) float64 {
+	n := h.N()
+	return parallel.Reduce(n, 0.0,
+		func(u int) float64 {
+			row := 0.0
+			for v := 0; v < n; v++ {
+				if v != u {
+					row += h.Weight(u, v)
+				}
+			}
+			return row
+		},
+		func(a, b float64) float64 { return a + b })
 }
 
 // BestCandidate evaluates several heuristics (MST, complete graph, local

@@ -57,25 +57,42 @@ type Row struct {
 // sweeps: beyond it the greedy tier is used.
 const exactNashLimit = 14
 
+// greedyVerifyLimit bounds the instance size for greedy-equilibrium
+// verification: each agent's scan is ~n candidate evaluations, so the
+// check is quadratic and stops paying for itself on the scale tier.
+// Beyond it the ratio is still measured (hosts are lazy, so construction
+// and cost evaluation stay O(n) memory at n = 5000+) but the candidate
+// goes unverified: TierNone with Stable=false, rendered "unchecked".
+const greedyVerifyLimit = 2000
+
 // VerifyLowerBound checks a construction's equilibrium candidate at the
 // strongest affordable tier and returns the sweep row.
 func VerifyLowerBound(lb *constructions.LowerBound, size int) Row {
-	s := game.NewState(lb.Game, lb.Equilibrium.Clone())
-	row := Row{
+	row := MeasureLowerBound(lb, size)
+	n := lb.Game.N()
+	switch {
+	case n <= exactNashLimit:
+		row.Tier = TierExactNash
+		row.Stable = bestresponse.IsNash(game.NewState(lb.Game, lb.Equilibrium.Clone()))
+	case n <= greedyVerifyLimit:
+		row.Tier = TierGreedy
+		row.Stable = game.NewState(lb.Game, lb.Equilibrium.Clone()).IsGreedyEquilibrium()
+	}
+	return row
+}
+
+// MeasureLowerBound evaluates a construction's ratio without verifying
+// the equilibrium candidate (TierNone): the measurement path for sizes
+// beyond greedyVerifyLimit, where cmd/poa ladders the closed-form
+// families to n = 5000+ on lazy hosts.
+func MeasureLowerBound(lb *constructions.LowerBound, size int) Row {
+	return Row{
 		Name:      lb.Name,
 		Alpha:     lb.Game.Alpha,
 		Size:      size,
 		Ratio:     lb.Ratio(),
 		Predicted: lb.Predicted,
 	}
-	if lb.Game.N() <= exactNashLimit {
-		row.Tier = TierExactNash
-		row.Stable = bestresponse.IsNash(s)
-	} else {
-		row.Tier = TierGreedy
-		row.Stable = s.IsGreedyEquilibrium()
-	}
-	return row
 }
 
 // SweepThm15 regenerates the Fig. 6 series: the T–GNCG star family across
