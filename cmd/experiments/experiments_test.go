@@ -7,8 +7,21 @@ import (
 	"path/filepath"
 	"testing"
 
+	"gncg/internal/dynamics"
+	"gncg/internal/game"
 	"gncg/internal/sweep"
 )
+
+// TestMain doubles as the experiments binary: the coordinate subcommand
+// re-executes os.Executable(), which under `go test` is the test binary,
+// so the child-mode env var routes those subprocesses into main().
+func TestMain(m *testing.M) {
+	if os.Getenv("GNCG_EXPERIMENTS_CHILD") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
 
 // cheapSelection is a fast but representative slice of the registry: a
 // scalar experiment, a seeds ladder, and an alpha×n grid.
@@ -37,6 +50,7 @@ func TestRegistryComplete(t *testing.T) {
 		"thm10", "thm11", "thm12", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "thm18", "fig10", "thm20", "conj1", "ncg", "oneinf",
 		"empirical", "pos", "table1", "scale", "scale_greedy", "equilibrium",
+		"cycle_census",
 	}
 	if got := len(sweep.All()); got != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", got, len(want))
@@ -79,8 +93,12 @@ func TestExperimentsShardDeterminism(t *testing.T) {
 		}
 		parts = append(parts, rs)
 	}
+	mergedSet, err := sweep.Merge(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var merged bytes.Buffer
-	if err := sweep.Merge(parts...).EncodeJSON(&merged); err != nil {
+	if err := mergedSet.EncodeJSON(&merged); err != nil {
 		t.Fatal(err)
 	}
 	if merged.String() != refJSON.String() {
@@ -151,6 +169,111 @@ func TestMergeSubcommandRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCoordinateSubcommand drives the shard-launch coordinator end to
+// end: `coordinate -shards 3` (which re-executes this test binary in
+// child mode K times) must produce JSON byte-identical both to an
+// unsharded in-process run and to manually-launched shards piped through
+// the merge subcommand, keep the per-shard files it is asked to keep,
+// and emit per-experiment wide CSVs.
+func TestCoordinateSubcommand(t *testing.T) {
+	t.Setenv("GNCG_EXPERIMENTS_CHILD", "1")
+	exps := selectCheap(t)
+	ref, err := sweep.Run(exps, sweep.Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refJSON bytes.Buffer
+	if err := ref.EncodeJSON(&refJSON); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	const shards = 3
+	var manualFiles []string
+	for shard := 0; shard < shards; shard++ {
+		rs, err := sweep.Run(exps, sweep.Config{Quick: true, Shards: shards, Shard: shard})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("manual%d.json", shard))
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.EncodeJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		manualFiles = append(manualFiles, path)
+	}
+	manualOut := filepath.Join(dir, "manual-merged.json")
+	var stderr bytes.Buffer
+	if code := mergeMain(append([]string{"-out", manualOut}, manualFiles...), &stderr); code != 0 {
+		t.Fatalf("mergeMain exited %d: %s", code, stderr.String())
+	}
+
+	coordOut := filepath.Join(dir, "coord.json")
+	shardDir := filepath.Join(dir, "shards")
+	wideDir := filepath.Join(dir, "wide")
+	stderr.Reset()
+	code := coordinateMain([]string{
+		"-shards", fmt.Sprint(shards), "-quick", "-run", cheapSelection,
+		"-out", coordOut, "-shard-dir", shardDir, "-wide", wideDir,
+	}, &stderr)
+	if code != 0 {
+		t.Fatalf("coordinateMain exited %d: %s", code, stderr.String())
+	}
+
+	coordJSON, err := os.ReadFile(coordOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(coordJSON) != refJSON.String() {
+		t.Fatal("coordinate output differs from unsharded run")
+	}
+	manualJSON, err := os.ReadFile(manualOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(coordJSON) != string(manualJSON) {
+		t.Fatal("coordinate output differs from manual shards piped through merge")
+	}
+	// The kept shard files are the real subprocess outputs and must match
+	// the manual in-process shard runs byte-for-byte.
+	for shard := 0; shard < shards; shard++ {
+		got, err := os.ReadFile(filepath.Join(shardDir, fmt.Sprintf("shard-%d.json", shard)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(manualFiles[shard])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("coordinate shard %d differs from manual shard run", shard)
+		}
+	}
+	for _, e := range exps {
+		csvPath := filepath.Join(wideDir, e.Name+".csv")
+		if _, err := os.Stat(csvPath); err != nil {
+			t.Errorf("wide CSV missing for %s: %v", e.Name, err)
+		}
+	}
+}
+
+func TestCoordinateSubcommandErrors(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := coordinateMain([]string{"-shards", "0"}, &stderr); code != 2 {
+		t.Fatalf("coordinate -shards 0 exited %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := coordinateMain([]string{"-run", "no-such-exp"}, &stderr); code != 2 {
+		t.Fatalf("coordinate with bad selector exited %d, want 2", code)
+	}
+}
+
 func TestMergeSubcommandErrors(t *testing.T) {
 	var stderr bytes.Buffer
 	if code := mergeMain(nil, &stderr); code != 2 {
@@ -168,6 +291,33 @@ func TestMergeSubcommandErrors(t *testing.T) {
 	stderr.Reset()
 	if code := mergeMain([]string{bad}, &stderr); code != 1 {
 		t.Fatalf("merge of invalid file exited %d, want 1", code)
+	}
+}
+
+// TestCacheChurnProbeDeterministic: the probe that records cache
+// counters in full-mode equilibrium cells feeds the nightly
+// byte-identity gate, so it must be a pure function of the converged
+// state — repeated probes (fresh clone each) agree exactly — and must
+// actually exercise the counters it reports.
+func TestCacheChurnProbeDeterministic(t *testing.T) {
+	h, alpha, start := equilibriumConfig("l2", 250)
+	g := game.New(h, alpha)
+	s := game.NewState(g, start)
+	res := dynamics.RunToConvergence(s, dynamics.GreedyMover, dynamics.RoundRobin{},
+		dynamics.Budget{MaxRounds: 32, MaxMoves: 5000})
+	if res.Outcome != dynamics.Converged {
+		t.Fatalf("l2 star rung did not converge: %v", res.Outcome)
+	}
+	a := cacheChurnProbe(s)
+	b := cacheChurnProbe(s)
+	if a != b {
+		t.Fatalf("probe not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.Hits == 0 || a.Misses == 0 || a.BatchRepairs == 0 {
+		t.Fatalf("probe left counters unexercised: %+v", a)
+	}
+	if a.Capacity != 250 {
+		t.Fatalf("probe capacity = %d, want 250 (cap == n caches everything)", a.Capacity)
 	}
 }
 
@@ -197,7 +347,7 @@ func TestExperimentRecordsSane(t *testing.T) {
 		for _, key := range []string{"ne_exact", "opt_exact"} {
 			v, ok := c.Records[0].Get(key)
 			if !ok || v != "PASS" {
-				t.Fatalf("cell alpha=%v: %s = %v, want PASS", c.Cell.Alpha, key, v)
+				t.Fatalf("cell alpha=%v: %s = %v, want PASS", c.Cell.Float("alpha"), key, v)
 			}
 		}
 	}

@@ -3,8 +3,8 @@
 // sharded sweep engine (internal/sweep): the results matrix (Table 1), the
 // model hierarchy (Fig. 1), the hardness gadgets (Figs. 2, 4, 7), the PoA
 // lower-bound families (Figs. 3, 6, 9, 10 and Thms 8, 15, 18, 19, 20), the
-// dynamics non-convergence witnesses (Figs. 5, 8), and the structural
-// lemmas (Lemmas 1-2, Thms 2-3, Cor. 2).
+// dynamics non-convergence witnesses (Figs. 5, 8, the cycle census), and
+// the structural lemmas (Lemmas 1-2, Thms 2-3, Cor. 2).
 //
 // Usage:
 //
@@ -15,17 +15,24 @@
 //	experiments -quick                 # smaller size ladders (CI-friendly)
 //	experiments -out results.json      # deterministic JSON results
 //	experiments -csv results.csv       # long-format CSV results
+//	experiments -wide dir/             # wide-format CSV, one file per experiment
 //	experiments -shards 8 -shard 0     # run shard 0 of 8
 //	experiments -workers 4             # bound cell-level parallelism
 //
 //	experiments merge -out merged.json shard0.json shard1.json ...
 //	                                   # combine shard outputs (sweep.Merge)
+//	experiments coordinate -shards 4 -out merged.json
+//	                                   # launch 4 shard subprocesses and merge
 //
 // Sharded runs of the same selection are deterministic: the merged output
 // of all K shards is byte-identical to an unsharded run, for any K and
 // any worker count. The merge subcommand decodes shard JSON files,
-// deduplicates and reorders cells by global sequence number, and
-// re-encodes — no manual JSON surgery required.
+// deduplicates and reorders cells by global sequence number (failing
+// loudly if the inputs disagree on a cell's parameters), and re-encodes —
+// no manual JSON surgery required. The coordinate subcommand automates
+// the whole workflow in one invocation: it re-executes this binary K
+// times with static shard assignment (`-shards K -shard i` over the
+// deterministic cell sequence), collects the shard JSON, and merges.
 package main
 
 import (
@@ -33,6 +40,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"sync"
 
@@ -46,8 +55,13 @@ var registerOnce sync.Once
 func ensureRegistered() { registerOnce.Do(registerAll) }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "merge" {
-		os.Exit(mergeMain(os.Args[2:], os.Stderr))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "merge":
+			os.Exit(mergeMain(os.Args[2:], os.Stderr))
+		case "coordinate":
+			os.Exit(coordinateMain(os.Args[2:], os.Stderr))
+		}
 	}
 	list := flag.Bool("list", false, "list experiment ids, tags and cell counts, then exit")
 	quick := flag.Bool("quick", false, "smaller size ladders")
@@ -57,6 +71,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines per shard (0 = GOMAXPROCS)")
 	outPath := flag.String("out", "", "write deterministic JSON results to this file ('-' = stdout)")
 	csvPath := flag.String("csv", "", "write long-format CSV results to this file ('-' = stdout)")
+	widePath := flag.String("wide", "", "write wide-format CSV results (one <experiment>.csv per experiment) into this directory")
 	tables := flag.Bool("tables", true, "render result tables to stdout")
 	progress := flag.Bool("progress", false, "report per-cell progress on stderr")
 	flag.Parse()
@@ -65,7 +80,7 @@ func main() {
 
 	if *list {
 		for _, e := range sweep.All() {
-			fmt.Printf("%-10s %-28s cells=%-3d %s\n",
+			fmt.Printf("%-12s %-28s cells=%-3d %s\n",
 				e.Name, "["+strings.Join(e.Tags, ",")+"]", len(e.Cells(*quick)), e.Title)
 		}
 		fmt.Printf("\ntags: %s\n", strings.Join(sweep.Tags(), ", "))
@@ -117,11 +132,7 @@ func main() {
 	if *tables {
 		sweep.RenderText(os.Stdout, rs)
 	}
-	if err := writeOut(*outPath, rs.EncodeJSON); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if err := writeOut(*csvPath, rs.EncodeCSV); err != nil {
+	if err := writeResults(rs, *outPath, *csvPath, *widePath); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -133,14 +144,17 @@ func main() {
 
 // mergeMain implements the merge subcommand: decode shard JSON outputs,
 // combine them with sweep.Merge and re-encode. Merging all K shards of a
-// run reproduces the unsharded output byte-for-byte.
+// run reproduces the unsharded output byte-for-byte; inputs that
+// disagree on a cell's parameters (shards of different runs or binaries)
+// fail loudly instead of silently dropping a version.
 func mergeMain(args []string, stderr io.Writer) int {
 	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	outPath := fs.String("out", "-", "write merged JSON to this file ('-' = stdout)")
 	csvPath := fs.String("csv", "", "write merged long-format CSV to this file ('-' = stdout)")
+	widePath := fs.String("wide", "", "write merged wide-format CSV (one <experiment>.csv per experiment) into this directory")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: experiments merge [-out merged.json] [-csv merged.csv] shard.json...")
+		fmt.Fprintln(stderr, "usage: experiments merge [-out merged.json] [-csv merged.csv] [-wide dir] shard.json...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -155,31 +169,214 @@ func mergeMain(args []string, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "-out - and -csv - cannot share stdout")
 		return 2
 	}
+	merged, code := mergeFiles(files, stderr)
+	if code != 0 {
+		return code
+	}
+	if err := writeResults(merged, *outPath, *csvPath, *widePath); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// mergeFiles decodes shard JSON files, merges them (failing loudly on
+// disagreeing cells) and restores rendering metadata from the registry —
+// the shared tail of the merge and coordinate subcommands. On failure it
+// reports to stderr and returns a nonzero exit code.
+func mergeFiles(files []string, stderr io.Writer) (*sweep.ResultSet, int) {
 	var sets []*sweep.ResultSet
 	for _, path := range files {
 		f, err := os.Open(path)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
-			return 1
+			return nil, 1
 		}
 		rs, err := sweep.DecodeJSON(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(stderr, "%s: %v\n", path, err)
-			return 1
+			return nil, 1
 		}
 		sets = append(sets, rs)
 	}
-	merged := sweep.Merge(sets...)
-	if err := writeOut(*outPath, merged.EncodeJSON); err != nil {
+	merged, err := sweep.Merge(sets...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return nil, 1
+	}
+	// The interchange format strips rendering metadata; wide-CSV schemas
+	// come back from the registry.
+	ensureRegistered()
+	merged.AttachMeta()
+	return merged, 0
+}
+
+// coordinateMain implements the coordinate subcommand: the shard-launch
+// coordinator the sharding workflow previously left to hand-rolled CI
+// matrices. It re-executes this binary as K shard subprocesses with
+// static assignment over the deterministic cell sequence (`-shards K
+// -shard i`), collects their JSON, and merges — so the output is
+// byte-identical to an unsharded run of the same selection.
+func coordinateMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("coordinate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	shards := fs.Int("shards", 2, "number of shard subprocesses to launch")
+	quick := fs.Bool("quick", false, "smaller size ladders")
+	run := fs.String("run", "", "comma-separated experiment names and/or tags (default: all)")
+	workers := fs.Int("workers", 0, "worker goroutines per shard (0 = GOMAXPROCS each; beware oversubscription)")
+	outPath := fs.String("out", "", "write merged JSON to this file ('-' = stdout)")
+	csvPath := fs.String("csv", "", "write merged long-format CSV to this file ('-' = stdout)")
+	widePath := fs.String("wide", "", "write merged wide-format CSV (one <experiment>.csv per experiment) into this directory")
+	shardDir := fs.String("shard-dir", "", "keep per-shard JSON files (shard-<i>.json) in this directory (default: a temp dir, removed)")
+	progress := fs.Bool("progress", false, "shards report per-cell progress on stderr")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: experiments coordinate -shards K [-quick] [-run spec] [-out merged.json] [-csv merged.csv] [-wide dir] [selector...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *shards < 1 {
+		fmt.Fprintf(stderr, "coordinate: -shards %d out of range\n", *shards)
+		return 2
+	}
+	if *outPath == "-" && *csvPath == "-" {
+		fmt.Fprintln(stderr, "-out - and -csv - cannot share stdout")
+		return 2
+	}
+	spec := *run
+	if rest := fs.Args(); len(rest) > 0 {
+		if spec != "" {
+			spec += ","
+		}
+		spec += strings.Join(rest, ",")
+	}
+	// Validate the selection up front: a bad selector should fail once
+	// here, not K times in the children.
+	ensureRegistered()
+	if _, err := sweep.Select(spec); err != nil {
+		fmt.Fprintf(stderr, "%v (use -list)\n", err)
+		return 2
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(stderr, "coordinate: cannot locate own binary: %v\n", err)
+		return 1
+	}
+	dir := *shardDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "gncg-shards-")
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	if err := writeOut(*csvPath, merged.EncodeCSV); err != nil {
+
+	// The K children stream diagnostics concurrently into one writer;
+	// exec copies through a goroutine per child whenever the writer is
+	// not an *os.File, so serialize the writes.
+	childSink := &lockedWriter{w: stderr}
+	files := make([]string, *shards)
+	errs := make([]error, *shards)
+	var wg sync.WaitGroup
+	for i := 0; i < *shards; i++ {
+		files[i] = filepath.Join(dir, fmt.Sprintf("shard-%d.json", i))
+		cargs := []string{
+			"-run", spec, "-tables=false",
+			"-shards", fmt.Sprint(*shards), "-shard", fmt.Sprint(i),
+			"-workers", fmt.Sprint(*workers),
+			"-out", files[i],
+		}
+		if *quick {
+			cargs = append(cargs, "-quick")
+		}
+		if *progress {
+			cargs = append(cargs, "-progress")
+		}
+		wg.Add(1)
+		go func(i int, cargs []string) {
+			defer wg.Done()
+			cmd := exec.Command(exe, cargs...)
+			cmd.Stdout = childSink // children render nothing, but never share our stdout
+			cmd.Stderr = childSink
+			errs[i] = cmd.Run()
+		}(i, cargs)
+	}
+	wg.Wait()
+	failed := false
+	for i, err := range errs {
+		if err != nil {
+			// A child exiting 1 wrote its results but carried a failed
+			// cell; the merged FirstErr below reports it properly. Any
+			// other failure is fatal here.
+			if ee, ok := err.(*exec.ExitError); ok && ee.ExitCode() == 1 {
+				failed = true
+				continue
+			}
+			fmt.Fprintf(stderr, "coordinate: shard %d: %v\n", i, err)
+			return 1
+		}
+	}
+	merged, code := mergeFiles(files, stderr)
+	if code != 0 {
+		return code
+	}
+	if err := writeResults(merged, *outPath, *csvPath, *widePath); err != nil {
 		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if err := merged.FirstErr(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if failed {
+		fmt.Fprintln(stderr, "coordinate: a shard exited 1 but the merged set carries no failed cell")
 		return 1
 	}
 	return 0
+}
+
+// lockedWriter serializes concurrent writers (the coordinator's shard
+// subprocesses) onto one underlying stream.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// writeResults writes the selected encodings of one result set: JSON,
+// long-format CSV, and the per-experiment wide-format CSV directory.
+func writeResults(rs *sweep.ResultSet, outPath, csvPath, widePath string) error {
+	if err := writeOut(outPath, rs.EncodeJSON); err != nil {
+		return err
+	}
+	if err := writeOut(csvPath, rs.EncodeCSV); err != nil {
+		return err
+	}
+	if widePath == "" {
+		return nil
+	}
+	if err := os.MkdirAll(widePath, 0o755); err != nil {
+		return err
+	}
+	for _, w := range rs.WideTables() {
+		path := filepath.Join(widePath, w.Experiment+".csv")
+		if err := writeOut(path, w.Table.EncodeCSV); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func writeOut(path string, encode func(w io.Writer) error) error {

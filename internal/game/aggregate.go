@@ -140,8 +140,10 @@ func (c *distCache) clearAggScratch() {
 
 // aggTotal returns the maintained Σ t(u,·)·d(u,·) when row u is cached
 // and current, rebuilding the aggregate first if the traffic matrix
-// changed since it was computed.
-func (c *distCache) aggTotal(s *State, u int) (float64, bool) {
+// changed since it was computed. countHit guards the stats counter:
+// DistCost probes the aggregate again after a row fill, and that second
+// probe answers from work the fill already counted.
+func (c *distCache) aggTotal(s *State, u int, countHit bool) (float64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.off || c.rows[u] == nil || c.rowPos[u] != c.head {
@@ -150,6 +152,9 @@ func (c *distCache) aggTotal(s *State, u int) (float64, bool) {
 	a := &c.agg[u]
 	if !a.valid || a.epoch != s.G.trafficEpoch {
 		*a = buildRowAgg(s, u, c.rows[u])
+	}
+	if countHit {
+		c.stats.Hits++
 	}
 	return a.total, true
 }

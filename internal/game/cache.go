@@ -87,7 +87,46 @@ type distCache struct {
 	aggDirty     []int
 	aggDirtyFlag []bool
 
+	stats CacheStats
+
 	off bool
+}
+
+// CacheStats counts distance-cache events over a state's lifetime — the
+// observability the ROADMAP's eviction-policy question needs answered
+// with data rather than intuition. Counters are exact under
+// single-threaded use. Under concurrent read-side use, racing readers of
+// the same cold row each count a miss (each really ran a Dijkstra), so
+// which reads hit depends on timing: sweeps feeding the byte-identical
+// results contract must record counters only from single-threaded
+// phases (or from a fresh Clone probed sequentially).
+type CacheStats struct {
+	// Hits counts warm answers: O(1) aggregate reads and current- or
+	// repaired-row reads that avoided a fresh Dijkstra.
+	Hits uint64
+	// Misses counts fresh Dijkstra recomputations (cold rows, rows behind
+	// the log horizon, and rows whose repair refused).
+	Misses uint64
+	// BatchRepairs counts stale rows brought current in place across a
+	// non-empty collapsed delta diff (graph.RepairRowBatch calls).
+	BatchRepairs uint64
+	// RepairRefusals counts repairs that exceeded their affected-set
+	// budget: the row was dropped and recomputed instead.
+	RepairRefusals uint64
+	// Evictions counts rows dropped by the capacity clock sweep.
+	Evictions uint64
+	// Capacity is the row-cache cap the state was created with (not a
+	// counter; filled by State.CacheStats for context).
+	Capacity int
+}
+
+// CacheStats returns a snapshot of the distance cache's event counters.
+func (s *State) CacheStats() CacheStats {
+	s.cache.mu.Lock()
+	defer s.cache.mu.Unlock()
+	st := s.cache.stats
+	st.Capacity = s.cache.cap
+	return st
 }
 
 // edgeDelta is one logged single-edge network change.
@@ -236,8 +275,10 @@ func (c *distCache) replayRowLocked(s *State, i int) bool {
 		if !s.net.RepairRowBatch(row, i, removed, added, repairBudget(len(c.rows)), mark) {
 			c.clearAggScratch()
 			c.dropRowLocked(i)
+			c.stats.RepairRefusals++
 			return false
 		}
+		c.stats.BatchRepairs++
 		c.finishAggUpdate(s, i, row)
 	}
 	c.setRowPosLocked(i, c.head)
@@ -325,6 +366,7 @@ func (c *distCache) evictOneLocked(keep int) {
 				continue // first pass: stale rows only
 			}
 			c.dropRowLocked(i)
+			c.stats.Evictions++
 			return
 		}
 	}
@@ -447,12 +489,14 @@ func (s *State) Dist(src int) []float64 {
 	}
 	if row := c.rows[src]; row != nil {
 		if c.rowPos[src] == c.head {
+			c.stats.Hits++
 			c.mu.Unlock()
 			return row
 		}
 		if c.rowPos[src] >= c.base {
 			if c.replayRowLocked(s, src) {
 				row = c.rows[src]
+				c.stats.Hits++
 				c.mu.Unlock()
 				return row
 			}
@@ -462,6 +506,7 @@ func (s *State) Dist(src int) []float64 {
 		}
 	}
 	pos := c.head
+	c.stats.Misses++
 	c.mu.Unlock()
 	row := s.net.Dijkstra(src)
 	c.mu.Lock()

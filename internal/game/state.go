@@ -144,14 +144,14 @@ func (s *State) EdgeCost(u int) float64 {
 // queries fold the row in the same fixed shape, so the two paths are
 // bit-identical.
 func (s *State) DistCost(u int) float64 {
-	if total, ok := s.cache.aggTotal(s, u); ok {
+	if total, ok := s.cache.aggTotal(s, u, true); ok {
 		return total
 	}
 	row := s.Dist(u)
 	// Dist may have replayed or recomputed the row, publishing a current
 	// aggregate as a side effect; a second miss means caching is off (or
 	// the row was immediately evicted) — fold the row we hold.
-	if total, ok := s.cache.aggTotal(s, u); ok {
+	if total, ok := s.cache.aggTotal(s, u, false); ok {
 		return total
 	}
 	return s.foldDistCost(u, row)

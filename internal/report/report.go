@@ -1,5 +1,7 @@
 // Package report renders the experiment harness's tables and series as
-// aligned plain text, shared by the cmd tools and the benchmark harness.
+// aligned plain text and deterministic machine encodings (JSON tokens,
+// full-precision CSV, wide-format CSV tables), shared by the cmd tools
+// and the benchmark harness.
 package report
 
 import (

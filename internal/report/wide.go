@@ -1,0 +1,42 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WideTable is a rectangular wide-format table: a fixed header and one
+// value row per entry, encoded as RFC-4180 CSV with every value rendered
+// at full precision (Precise). It is the plot-ready counterpart of the
+// long-format key/value encoding: per-experiment schemas put one
+// observation per row with its parameters as leading columns, so the
+// paper's sweep figures plot straight off the file.
+type WideTable struct {
+	Header []string
+	Rows   [][]any
+}
+
+// EncodeCSV writes the table. Rows that do not match the header width
+// are an error: a wide table is rectangular by contract.
+func (t *WideTable) EncodeCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	buf := make([]string, len(t.Header))
+	for i, row := range t.Rows {
+		if len(row) != len(t.Header) {
+			return fmt.Errorf("report: wide row %d has %d cells, header has %d",
+				i, len(row), len(t.Header))
+		}
+		for j, v := range row {
+			buf[j] = Precise(v)
+		}
+		if err := cw.Write(buf); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"strconv"
 )
 
@@ -127,8 +126,15 @@ func decodeCell(dec *json.Decoder) (CellResult, error) {
 	return c, nil
 }
 
-// decodeParams restores the typed grid dimensions from the fixed-key
-// params object, setting the matching Dims bit for each present key.
+// decodeParams restores the cell's ordered axis values. Keys are open:
+// any axis name round-trips, preserving declaration order, so shard
+// files written by a newer binary (with axes this one has never heard
+// of) survive decode+merge instead of silently losing dimensions — the
+// disagreement checks in Merge then compare full param sets. Values are
+// typed by literal form (integer literals as int, other numbers as
+// float64, strings as strings), which re-encodes byte-identically; the
+// typed accessors coerce between numeric spellings, and Float
+// additionally understands the non-finite string encodings.
 func decodeParams(dec *json.Decoder, p *Params) error {
 	if err := expectDelim(dec, '{'); err != nil {
 		return err
@@ -138,45 +144,15 @@ func decodeParams(dec *json.Decoder, p *Params) error {
 		if err != nil {
 			return err
 		}
-		switch key {
-		case "host":
-			s, err := stringToken(dec)
-			if err != nil {
-				return err
-			}
-			p.Host = s
-			p.Dims |= DimHost
-		case "norm":
-			f, err := floatToken(dec)
-			if err != nil {
-				return err
-			}
-			p.Norm = f
-			p.Dims |= DimNorm
-		case "alpha":
-			f, err := floatToken(dec)
-			if err != nil {
-				return err
-			}
-			p.Alpha = f
-			p.Dims |= DimAlpha
-		case "n":
-			n, err := intToken(dec)
-			if err != nil {
-				return err
-			}
-			p.N = n
-			p.Dims |= DimN
-		case "seed":
-			n, err := intToken(dec)
-			if err != nil {
-				return err
-			}
-			p.Seed = int64(n)
-			p.Dims |= DimSeed
-		default:
-			return fmt.Errorf("unknown param %q", key)
+		tok, err := dec.Token()
+		if err != nil {
+			return err
 		}
+		v, err := scalarValue(tok)
+		if err != nil {
+			return fmt.Errorf("param %q: %w", key, err)
+		}
+		p.Values = append(p.Values, AxisValue{Axis: key, Value: v})
 	}
 	return expectDelim(dec, '}')
 }
@@ -272,30 +248,6 @@ func intToken(dec *json.Decoder) (int, error) {
 		return 0, fmt.Errorf("expected integer, got %q", string(num))
 	}
 	return int(i), nil
-}
-
-// floatToken reads a float param value. Non-finite floats are encoded as
-// the strings "inf" / "-inf" / "nan" (JSON has no number form for them —
-// see report.JSONValue), so those spellings decode back to floats.
-func floatToken(dec *json.Decoder) (float64, error) {
-	tok, err := dec.Token()
-	if err != nil {
-		return 0, err
-	}
-	switch v := tok.(type) {
-	case json.Number:
-		return v.Float64()
-	case string:
-		switch v {
-		case "inf":
-			return math.Inf(1), nil
-		case "-inf":
-			return math.Inf(-1), nil
-		case "nan":
-			return math.NaN(), nil
-		}
-	}
-	return 0, fmt.Errorf("expected number, got %v", tok)
 }
 
 // skipValue consumes exactly one JSON value (scalar, object or array).

@@ -25,13 +25,13 @@ func (rs *ResultSet) EncodeJSON(w io.Writer) error {
 		bw.WriteString("\n    {")
 		fmt.Fprintf(bw, "\"seq\": %d, \"experiment\": %s, \"cell\": %d",
 			c.Seq, report.JSONValue(c.Experiment), c.Cell.Index)
-		if params := c.Cell.paramPairs(); len(params) > 0 {
+		if len(c.Cell.Values) > 0 {
 			bw.WriteString(", \"params\": {")
-			for pi, kv := range params {
+			for pi, kv := range c.Cell.Values {
 				if pi > 0 {
 					bw.WriteString(", ")
 				}
-				fmt.Fprintf(bw, "%s: %s", report.JSONValue(kv.Key), report.JSONValue(kv.Value))
+				fmt.Fprintf(bw, "%s: %s", report.JSONValue(kv.Axis), report.JSONValue(kv.Value))
 			}
 			bw.WriteByte('}')
 		}
@@ -83,23 +83,74 @@ func (rs *ResultSet) EncodeCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// paramPairs lists the set grid dimensions of a cell in a fixed order.
-func (p Params) paramPairs() []Field {
-	var out []Field
-	if p.Has(DimHost) {
-		out = append(out, Field{"host", p.Host})
+// WideCSV is one experiment's wide-format table, ready to encode.
+type WideCSV struct {
+	Experiment string
+	Table      *report.WideTable
+}
+
+// WideTables builds one wide-format CSV table per experiment present in
+// the set, in first-appearance (sequence) order: the leading columns are
+// the experiment's axis names, the remaining columns its declared Schema
+// — or, when none is attached (e.g. a decoded set without AttachMeta),
+// the record keys in first-appearance order across the experiment's
+// records. One row per record, so single-record cells contribute exactly
+// one row per cell. Record keys outside the schema are dropped; keys a
+// record lacks leave empty cells; failed cells carry no records and
+// contribute no rows.
+func (rs *ResultSet) WideTables() []WideCSV {
+	var order []string
+	group := map[string][]CellResult{}
+	for _, c := range rs.Cells {
+		if _, ok := group[c.Experiment]; !ok {
+			order = append(order, c.Experiment)
+		}
+		group[c.Experiment] = append(group[c.Experiment], c)
 	}
-	if p.Has(DimNorm) {
-		out = append(out, Field{"norm", p.Norm})
-	}
-	if p.Has(DimAlpha) {
-		out = append(out, Field{"alpha", p.Alpha})
-	}
-	if p.Has(DimN) {
-		out = append(out, Field{"n", p.N})
-	}
-	if p.Has(DimSeed) {
-		out = append(out, Field{"seed", p.Seed})
+	out := make([]WideCSV, 0, len(order))
+	for _, name := range order {
+		cells := group[name]
+		var axes []string
+		var schema []string
+		for _, c := range cells {
+			if axes == nil {
+				axes = c.Cell.axisNames()
+			}
+			if schema == nil && len(c.Schema) > 0 {
+				schema = c.Schema
+			}
+		}
+		if schema == nil {
+			seen := map[string]bool{}
+			for _, c := range cells {
+				for _, r := range c.Records {
+					for _, f := range r.Fields {
+						if !seen[f.Key] {
+							seen[f.Key] = true
+							schema = append(schema, f.Key)
+						}
+					}
+				}
+			}
+		}
+		t := &report.WideTable{Header: append(append([]string{}, axes...), schema...)}
+		for _, c := range cells {
+			for _, r := range c.Records {
+				row := make([]any, 0, len(t.Header))
+				for _, kv := range c.Cell.Values {
+					row = append(row, kv.Value)
+				}
+				for _, key := range schema {
+					if v, ok := r.Get(key); ok {
+						row = append(row, v)
+					} else {
+						row = append(row, "")
+					}
+				}
+				t.Rows = append(t.Rows, row)
+			}
+		}
+		out = append(out, WideCSV{Experiment: name, Table: t})
 	}
 	return out
 }

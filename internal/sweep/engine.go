@@ -3,15 +3,17 @@ package sweep
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"gncg/internal/parallel"
+	"gncg/internal/report"
 )
 
 // Config controls one engine run.
 type Config struct {
-	Quick   bool // shrink grids to their CI-friendly size
+	Quick   bool // shrink spaces to their CI-friendly size
 	Workers int  // worker goroutines; <= 0 means GOMAXPROCS
 	Shards  int  // total shard count; <= 1 disables sharding
 	Shard   int  // this process's shard index in [0, Shards)
@@ -21,13 +23,15 @@ type Config struct {
 	Progress func(line string)
 }
 
-// CellResult is the outcome of one executed cell. Title and Note are
-// rendering metadata copied from the experiment; they are not encoded.
+// CellResult is the outcome of one executed cell. Title, Note and Schema
+// are rendering metadata copied from the experiment; they are not
+// encoded (AttachMeta restores them on decoded sets).
 type CellResult struct {
 	Seq        int // global cell sequence number across the selected experiments
 	Experiment string
 	Title      string
 	Note       string
+	Schema     []string
 	Cell       Params
 	Records    []Record
 	Err        string // non-empty if the cell panicked
@@ -48,6 +52,21 @@ func (rs *ResultSet) FirstErr() error {
 		}
 	}
 	return nil
+}
+
+// AttachMeta restores rendering metadata (Title, Note, Schema) on the
+// set's cells from the global registry, matched by experiment name.
+// Decoded sets carry none — the interchange format excludes rendering
+// metadata — so merged output would otherwise render plainly and lack
+// wide-CSV schemas. Cells of unknown experiments are left untouched.
+func (rs *ResultSet) AttachMeta() {
+	for i := range rs.Cells {
+		if e, ok := Lookup(rs.Cells[i].Experiment); ok {
+			rs.Cells[i].Title = e.Title
+			rs.Cells[i].Note = e.Note
+			rs.Cells[i].Schema = e.Schema
+		}
+	}
 }
 
 type cellTask struct {
@@ -89,7 +108,7 @@ func Run(exps []Experiment, cfg Config) (*ResultSet, error) {
 	parallel.ForWorkers(len(tasks), workers, func(i int) {
 		t := tasks[i]
 		res := CellResult{Seq: t.seq, Experiment: t.exp.Name, Title: t.exp.Title,
-			Note: t.exp.Note, Cell: t.cell}
+			Note: t.exp.Note, Schema: t.exp.Schema, Cell: t.cell}
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
@@ -110,24 +129,104 @@ func Run(exps []Experiment, cfg Config) (*ResultSet, error) {
 	return &ResultSet{Cells: results}, nil
 }
 
+// paramSig renders a cell's ordered axis values into a comparable
+// signature. Comparison goes through the deterministic encoding (not ==)
+// so NaN-valued axes compare equal to themselves and int/int64/float
+// spellings of the same literal agree across encode/decode.
+func paramSig(p Params) string {
+	var b strings.Builder
+	for _, kv := range p.Values {
+		b.WriteString(report.JSONValue(kv.Axis))
+		b.WriteByte(':')
+		b.WriteString(report.JSONValue(kv.Value))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// axisSig renders a cell's axis name list. Names are JSON-quoted (like
+// paramSig's) so a name containing the separator cannot collide with a
+// different axis set.
+func axisSig(p Params) string {
+	var b strings.Builder
+	for _, v := range p.Values {
+		b.WriteString(report.JSONValue(v.Axis))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// resultSig renders a cell's payload — records and captured error —
+// through the same deterministic encoding used for comparison of
+// duplicates. Same-run shards are byte-deterministic, so two legitimate
+// copies of a cell always agree; a mismatch means the inputs mix runs.
+func resultSig(c CellResult) string {
+	var b strings.Builder
+	for _, r := range c.Records {
+		for _, f := range r.Fields {
+			b.WriteString(report.JSONValue(f.Key))
+			b.WriteByte(':')
+			b.WriteString(report.JSONValue(f.Value))
+			b.WriteByte(';')
+		}
+		b.WriteByte('|')
+	}
+	b.WriteString(report.JSONValue(c.Err))
+	return b.String()
+}
+
 // Merge combines shard outputs into one set ordered by global sequence
 // number, deduplicating overlapping cells. Merging the outputs of all K
 // shards of the same run reproduces the unsharded result exactly.
-func Merge(sets ...*ResultSet) *ResultSet {
+//
+// Merge fails loudly on disagreement instead of silently preferring one
+// side: duplicate sequence numbers must carry the same experiment, cell
+// index, axis values, records and error, and all cells of one
+// experiment must share the same axis set. These conditions hold
+// trivially for shards of one run (cells are byte-deterministic); a
+// violation means the inputs mix runs of different binaries or
+// selections, where a silent merge would drop dimensions or whole
+// result versions.
+func Merge(sets ...*ResultSet) (*ResultSet, error) {
 	var all []CellResult
-	seen := map[int]bool{}
+	seen := map[int]int{} // seq -> index in all
 	for _, rs := range sets {
 		if rs == nil {
 			continue
 		}
 		for _, c := range rs.Cells {
-			if seen[c.Seq] {
+			j, dup := seen[c.Seq]
+			if !dup {
+				seen[c.Seq] = len(all)
+				all = append(all, c)
 				continue
 			}
-			seen[c.Seq] = true
-			all = append(all, c)
+			have := all[j]
+			if have.Experiment != c.Experiment || have.Cell.Index != c.Cell.Index ||
+				paramSig(have.Cell) != paramSig(c.Cell) {
+				return nil, fmt.Errorf(
+					"sweep: merge: cell seq %d appears as %s[%d]{%s} and %s[%d]{%s}; inputs are shards of different runs",
+					c.Seq, have.Experiment, have.Cell.Index, paramSig(have.Cell),
+					c.Experiment, c.Cell.Index, paramSig(c.Cell))
+			}
+			if resultSig(have) != resultSig(c) {
+				return nil, fmt.Errorf(
+					"sweep: merge: cell seq %d (%s[%d]) appears with two different result payloads; inputs are shards of different runs",
+					c.Seq, c.Experiment, c.Cell.Index)
+			}
 		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
-	return &ResultSet{Cells: all}
+	axes := map[string]string{}
+	for _, c := range all {
+		sig := axisSig(c.Cell)
+		if have, ok := axes[c.Experiment]; !ok {
+			axes[c.Experiment] = sig
+		} else if have != sig {
+			return nil, fmt.Errorf(
+				"sweep: merge: experiment %q has cells with differing axes (%q vs %q); inputs are shards of different binaries",
+				c.Experiment, have, sig)
+		}
+	}
+	return &ResultSet{Cells: all}, nil
 }

@@ -9,9 +9,9 @@ import (
 
 // RenderText renders the result set as aligned text tables, one table
 // per experiment (cells grouped in sequence order). Columns are the
-// cell's set grid dimensions followed by the record fields, taken from
-// the first record of the group; ragged records render their extra
-// fields unaligned rather than being dropped.
+// cell's axis values followed by the record fields, taken from the
+// first record of the group; ragged records render their extra fields
+// unaligned rather than being dropped.
 func RenderText(w io.Writer, rs *ResultSet) {
 	for start := 0; start < len(rs.Cells); {
 		end := start
@@ -34,14 +34,14 @@ func renderGroup(w io.Writer, group []CellResult) {
 	}
 	fmt.Fprintf(w, "\n######## %s — %s ########\n", group[0].Experiment, title)
 	var header []string
-	var paramKeys []Field
+	var paramKeys []AxisValue
 	for _, c := range group {
 		if len(c.Records) == 0 {
 			continue
 		}
-		paramKeys = c.Cell.paramPairs()
+		paramKeys = c.Cell.Values
 		for _, kv := range paramKeys {
-			header = append(header, kv.Key)
+			header = append(header, kv.Axis)
 		}
 		for _, f := range c.Records[0].Fields {
 			header = append(header, f.Key)
@@ -66,7 +66,7 @@ func renderGroup(w io.Writer, group []CellResult) {
 			fmt.Fprintf(w, "cell %d FAILED: %s\n", c.Cell.Index, c.Err)
 			continue
 		}
-		params := c.Cell.paramPairs()
+		params := c.Cell.Values
 		for _, r := range c.Records {
 			row := make([]any, 0, nparams+len(r.Fields))
 			for _, kv := range params {

@@ -1,7 +1,8 @@
 // Package sweep is the experiment engine: a registry of named
-// experiments, a parameter grid that expands into cells, and a sharded
-// executor that fans cells out over worker goroutines and funnels
-// structured results into deterministic JSON/CSV (via internal/report).
+// experiments, an open typed parameter space that expands into cells,
+// and a sharded executor that fans cells out over worker goroutines and
+// funnels structured results into deterministic JSON/CSV (via
+// internal/report).
 //
 // The design goal is horizontal shardability with bit-identical results:
 // a sweep's cells are enumerated in a deterministic order, every cell
@@ -10,15 +11,25 @@
 // unsharded run, regardless of worker count. That makes the paper's full
 // reproduction resumable and distributable across processes.
 //
-// An experiment is a named cell function plus an optional grid:
+// An experiment is a named cell function plus an optional parameter
+// space — an ordered list of named, typed axes whose cross product
+// enumerates the cells — and an optional output schema that drives the
+// wide-format CSV encoding:
 //
 //	sweep.Register(sweep.Experiment{
 //		Name: "fig6", Title: "Thm 15: PoA -> (alpha+2)/2",
 //		Tags: []string{"poa", "figures"},
-//		Grid: func(quick bool) sweep.Grid {
-//			return sweep.Grid{Alphas: []float64{1, 4}, Ns: []int{4, 8, 16}}
+//		Space: func(quick bool) sweep.Space {
+//			return sweep.Space{Axes: []sweep.Axis{
+//				sweep.Floats("alpha", 1, 4),
+//				sweep.Ints("n", 4, 8, 16),
+//			}}
 //		},
-//		Run: func(p sweep.Params) []sweep.Record { ... },
+//		Schema: []string{"ratio", "limit"},
+//		Run: func(p sweep.Params) []sweep.Record {
+//			alpha, n := p.Float("alpha"), p.Int("n")
+//			...
+//		},
 //	})
 //
 // Each cell returns ordered records (key/value rows); the engine never
@@ -28,42 +39,145 @@ package sweep
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"math/rand"
 )
 
-// Dim flags record which grid dimensions a cell's parameters carry, so
-// rendering and encoding can omit placeholder zero values.
-const (
-	DimAlpha = 1 << iota
-	DimN
-	DimHost
-	DimNorm
-	DimSeed
-)
-
-// Params identifies one cell of an expanded grid. Only the fields whose
-// dimension bit is set in Dims are meaningful; the rest are placeholders.
-type Params struct {
-	Experiment string
-	Index      int // position in the experiment's expanded grid
-	Dims       uint8
-	Alpha      float64
-	N          int
-	Host       string // host-graph class selector
-	Norm       float64
-	Seed       int64
-	Quick      bool
+// AxisValue is one named coordinate of a cell: the axis it came from and
+// the typed value the cell holds on it.
+type AxisValue struct {
+	Axis  string
+	Value any // string, float64, int or int64 (see Axis)
 }
 
-// Has reports whether the given dimension bit is set.
-func (p Params) Has(dim uint8) bool { return p.Dims&dim != 0 }
+// Params identifies one cell of an expanded parameter space. Values
+// holds the cell's coordinates in axis declaration order; that order is
+// part of the cell's identity — it drives the JSON params object, the
+// wide-CSV leading columns and the rendered table columns, which keeps
+// output byte-deterministic.
+type Params struct {
+	Experiment string
+	Index      int // position in the experiment's expanded space
+	Quick      bool
+	Values     []AxisValue
+}
+
+// Lookup returns the cell's value on the named axis.
+func (p Params) Lookup(axis string) (any, bool) {
+	for _, v := range p.Values {
+		if v.Axis == axis {
+			return v.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Has reports whether the cell carries the named axis.
+func (p Params) Has(axis string) bool {
+	_, ok := p.Lookup(axis)
+	return ok
+}
+
+func (p Params) value(axis string) any {
+	v, ok := p.Lookup(axis)
+	if !ok {
+		panic(fmt.Sprintf("sweep: experiment %q cell %d has no axis %q (axes: %v)",
+			p.Experiment, p.Index, axis, p.axisNames()))
+	}
+	return v
+}
+
+func (p Params) axisNames() []string {
+	names := make([]string, len(p.Values))
+	for i, v := range p.Values {
+		names[i] = v.Axis
+	}
+	return names
+}
+
+// Float returns the cell's value on a float axis. Integer-typed values
+// coerce, and the strings "inf", "-inf" and "nan" decode to the
+// non-finite floats they encode (see report.JSONValue), so the accessor
+// is total on decoded cells too.
+func (p Params) Float(axis string) float64 {
+	switch x := p.value(axis).(type) {
+	case float64:
+		return x
+	case int:
+		return float64(x)
+	case int64:
+		return float64(x)
+	case string:
+		switch x {
+		case "inf":
+			return math.Inf(1)
+		case "-inf":
+			return math.Inf(-1)
+		case "nan":
+			return math.NaN()
+		}
+	}
+	panic(fmt.Sprintf("sweep: experiment %q axis %q holds %T, want float",
+		p.Experiment, axis, p.value(axis)))
+}
+
+// Int returns the cell's value on an integer axis.
+func (p Params) Int(axis string) int {
+	switch x := p.value(axis).(type) {
+	case int:
+		return x
+	case int64:
+		return int(x)
+	}
+	panic(fmt.Sprintf("sweep: experiment %q axis %q holds %T, want int",
+		p.Experiment, axis, p.value(axis)))
+}
+
+// Int64 returns the cell's value on an int64 axis (by convention, seed
+// axes).
+func (p Params) Int64(axis string) int64 {
+	switch x := p.value(axis).(type) {
+	case int64:
+		return x
+	case int:
+		return int64(x)
+	}
+	panic(fmt.Sprintf("sweep: experiment %q axis %q holds %T, want int64",
+		p.Experiment, axis, p.value(axis)))
+}
+
+// Str returns the cell's value on a string axis.
+func (p Params) Str(axis string) string {
+	if s, ok := p.value(axis).(string); ok {
+		return s
+	}
+	panic(fmt.Sprintf("sweep: experiment %q axis %q holds %T, want string",
+		p.Experiment, axis, p.value(axis)))
+}
+
+// Seed returns the cell's value on the conventional "seed" axis, or 0
+// when the cell has none. It feeds RNG, so cells without a seed axis
+// still get a deterministic per-cell source (their index differs).
+func (p Params) Seed() int64 {
+	v, ok := p.Lookup("seed")
+	if !ok {
+		return 0
+	}
+	switch x := v.(type) {
+	case int64:
+		return x
+	case int:
+		return int64(x)
+	}
+	panic(fmt.Sprintf("sweep: experiment %q seed axis holds %T, want int64", p.Experiment, v))
+}
 
 // RNG returns a cell-local deterministic random source, derived from the
 // experiment name, the cell index and the cell seed — independent of
 // worker count and shard assignment.
 func (p Params) RNG() *rand.Rand {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s/%d/%d", p.Experiment, p.Index, p.Seed)
+	fmt.Fprintf(h, "%s/%d/%d", p.Experiment, p.Index, p.Seed())
 	return rand.New(rand.NewSource(int64(h.Sum64())))
 }
 
@@ -119,22 +233,29 @@ type Experiment struct {
 	// rendering metadata, not part of the encoded results.
 	Note string
 	Tags []string
-	// Grid declares the parameter grid, possibly shrunk in quick mode.
-	// nil means a single cell with no set dimensions.
-	Grid func(quick bool) Grid
-	Run  RunFunc
+	// Space declares the parameter space, possibly shrunk in quick mode.
+	// nil means a single cell with no axes.
+	Space func(quick bool) Space
+	// Schema optionally declares the ordered metric columns of the
+	// experiment's wide-format CSV (after the axis columns). Record keys
+	// outside the schema are dropped from the wide table; keys a record
+	// lacks leave empty cells. An empty schema derives the columns from
+	// the records themselves, in first-appearance order. Like Title and
+	// Note it is rendering metadata, not part of the encoded results.
+	Schema []string
+	Run    RunFunc
 }
 
-// Cells expands the experiment's grid (the declared one, or a single
-// scalar cell when Grid is nil) and stamps each cell with the experiment
+// Cells expands the experiment's space (the declared one, or a single
+// scalar cell when Space is nil) and stamps each cell with the experiment
 // identity. This is exactly the enumeration the engine executes, so
 // callers (e.g. `-list` cell counts) can never diverge from a run.
 func (e Experiment) Cells(quick bool) []Params {
-	var g Grid
-	if e.Grid != nil {
-		g = e.Grid(quick)
+	var sp Space
+	if e.Space != nil {
+		sp = e.Space(quick)
 	}
-	cells := g.Cells()
+	cells := sp.Cells()
 	for i := range cells {
 		cells[i].Experiment = e.Name
 		cells[i].Quick = quick
