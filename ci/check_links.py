@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Check that markdown cross-references resolve, without touching the
+network.
+
+Usage: check_links.py FILE.md [FILE.md ...]
+
+For every inline markdown link [text](target) and bare reference in the
+given files:
+
+  - relative targets must exist on disk, resolved against the linking
+    file's directory (an optional #anchor is stripped first; anchors
+    themselves are not validated);
+  - in-file anchors (#section) must match a heading of the file,
+    compared under GitHub's slug rules (lowercase, spaces to dashes,
+    punctuation dropped);
+  - http(s) and mailto targets are accepted without fetching — CI must
+    not fail on someone else's outage.
+
+Stdlib only; exits non-zero listing every broken link.
+"""
+
+import os
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def slug(heading):
+    s = heading.strip().lower()
+    s = re.sub(r"[^\w\- ]", "", s)
+    return s.replace(" ", "-")
+
+
+def headings(path):
+    out = set()
+    in_code = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if line.lstrip().startswith("```"):
+                in_code = not in_code
+                continue
+            if not in_code and line.startswith("#"):
+                out.add(slug(line.lstrip("#")))
+    return out
+
+
+def check(path):
+    broken = []
+    base = os.path.dirname(os.path.abspath(path))
+    text = open(path, encoding="utf-8").read()
+    # Strip fenced code blocks: example links inside them are not claims.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for target in LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if slug(target[1:]) not in headings(path):
+                broken.append((path, target, "no such heading"))
+            continue
+        rel = target.split("#", 1)[0]
+        if not os.path.exists(os.path.join(base, rel)):
+            broken.append((path, target, "no such file"))
+    return broken
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.exit("usage: check_links.py FILE.md [FILE.md ...]")
+    broken = []
+    for path in argv[1:]:
+        broken.extend(check(path))
+    for path, target, why in broken:
+        print("%s: broken link %r: %s" % (path, target, why))
+    if broken:
+        sys.exit("%d broken link(s)" % len(broken))
+    print("OK: all links in %d file(s) resolve" % (len(argv) - 1))
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1044,16 +1044,18 @@ func registerScaleGreedy() {
 // from a deliberately-bad start (a path profile): thousands of applied
 // moves before convergence. equilibriumExactN is the largest rung whose
 // reached equilibrium is re-verified against the exact (unpruned) move
-// oracle for every agent. Rungs above equilibriumPathN certify at scale
-// instead: they start from a star that the per-class α makes a (near-)
-// equilibrium, so the run converges within a small deterministic round
-// budget; above equilibriumExactN the oracle checks a deterministic
-// 48-agent sample (an exhaustive exact scan at n = 10⁴ would dominate
-// the whole sweep, and exact scans at path-derived equilibria cost
-// ~100× their star-state price because every speculative edge change
-// repairs far more distances).
+// oracle for every agent — since PR 6 through the certified parallel
+// verifier (game.VerifyGreedyEquilibrium with Exact set), whose
+// gain-bound certificates skip most agents' quadratic scans and whose
+// workers shard the rest, which is what pushed both limits to 2500:
+// the n = 2500 tree rung now plays full path-start dynamics AND gets
+// every agent exactly verified. Above equilibriumExactN the oracle
+// checks a deterministic 48-agent sample (an exhaustive exact scan at
+// n = 10⁴ would dominate the whole sweep, and exact scans at
+// path-derived equilibria cost ~100× their star-state price because
+// every speculative edge change repairs far more distances).
 const (
-	equilibriumPathN  = 1000
+	equilibriumPathN  = 2500
 	equilibriumExactN = 2500
 )
 
@@ -1061,11 +1063,11 @@ const (
 // round-robin dynamics converge (pinned by the nightly gate). The
 // choices are deliberate:
 //
-//   - tree metrics: α = n, path start up to equilibriumPathN. The
-//     rewiring tier: dynamics converge in a handful of rounds through
-//     hundreds-to-thousands of applied moves, to near-optimal
-//     equilibria (poa_vs_lb ≈ 1.002–1.01 — Cor. 3 territory: tree
-//     hosts have PoS 1).
+//   - tree metrics: α = n, path start up to equilibriumPathN (2500
+//     since PR 6). The rewiring tier: dynamics converge in a handful
+//     of rounds through hundreds-to-thousands of applied moves, to
+//     near-optimal equilibria (poa_vs_lb ≈ 1.002–1.01 — Cor. 3
+//     territory: tree hosts have PoS 1).
 //   - ℓ2 points: α = 16n from the star. Path-start greedy dynamics on
 //     ℓ2 hosts hit genuine improving-move cycles (n = 500 cycles
 //     forever where n = 250 and n = 1000 converge — found while tuning
@@ -1102,17 +1104,22 @@ func equilibriumConfig(class string, n int) (h *game.Host, alpha float64, start 
 // sample) on ℓ2, tree and 1-2 hosts across an n-ladder to 10⁴, with the
 // empirical Price of Anarchy measured against the certified optimum
 // lower bound α·MST(H) + Σ d_H (opt.LowerBound). Convergence itself
-// certifies a greedy equilibrium under the pruned scan; the exact oracle
-// re-verifies it (all agents up to n = 2500, a deterministic sample
-// beyond). Budgets are deterministic (rounds/moves, never wall clock),
-// so cells stay byte-identical under sharding.
+// certifies a greedy equilibrium under the pruned scan; the certified
+// parallel verifier (exact oracle for uncertified agents) re-verifies it
+// — all agents up to n = 2500, a deterministic sample beyond. Budgets
+// are deterministic (rounds/moves, never wall clock) and verification
+// verdicts are worker-invariant, so cells stay byte-identical under
+// sharding; only the wall-clock verify_ms column (full mode, volatile-
+// allowlisted in ci/check_shards.py) differs between runs.
 func registerEquilibrium() {
 	sweep.Register(sweep.Experiment{
 		Name: "equilibrium", Title: "Scale: greedy dynamics to convergence — equilibrium ladder with empirical PoA",
-		Note: "tree rungs <= 1000 play path-start rewiring dynamics to convergence; " +
+		Note: "tree rungs <= 2500 play path-start rewiring dynamics to convergence; " +
 			"other cells certify star equilibria (path-start l2 dynamics can cycle — " +
-			"Conjecture 1). The exact unpruned oracle re-verifies every agent up to " +
-			"n = 2500 and a deterministic sample beyond. poa_vs_lb divides the final " +
+			"Conjecture 1). The certified parallel verifier re-checks every agent up " +
+			"to n = 2500 with the exact unpruned oracle (gain-bound certificates skip " +
+			"provably stable agents — cert_skipped — and workers shard the rest) and " +
+			"a deterministic sample beyond. poa_vs_lb divides the final " +
 			"social cost by a certified OPT lower bound, so it upper-bounds the " +
 			"state's true ratio: the rewiring tier lands near 1 (the paper's Sec. 5 " +
 			"near-optimality observations), while star certification at large alpha " +
@@ -1128,6 +1135,7 @@ func registerEquilibrium() {
 		},
 		Schema: []string{"alpha", "outcome", "rounds", "moves", "social_cost", "opt_lb",
 			"poa_vs_lb", "exact_oracle_ne",
+			"verify_workers", "cert_skipped", "verify_ms",
 			"cache_cap", "cache_probe_hits", "cache_probe_misses",
 			"cache_probe_evictions", "cache_probe_repairs"},
 		Run: func(p sweep.Params) []sweep.Record {
@@ -1143,14 +1151,18 @@ func registerEquilibrium() {
 			lb := opt.LowerBound(g)
 
 			verified := "-"
+			var verification dynamics.Verification
+			var haveVerification bool
 			if res.Outcome == dynamics.Converged {
 				if n <= equilibriumExactN {
-					ok := true
-					for u := 0; u < n && ok; u++ {
-						_, _, improving := s.BestSingleMoveExact(u)
-						ok = !improving
-					}
-					verified = report.Check(ok)
+					// The certified parallel verifier with the exact oracle:
+					// verdict bit-identical to a serial all-agents
+					// BestSingleMoveExact sweep (the pre-PR 6 loop here) for
+					// any worker count, so the exact_oracle_ne column's
+					// encoding is unchanged.
+					verification, haveVerification = dynamics.VerifyConvergence(
+						res, s, game.VerifyOptions{Exact: true})
+					verified = report.Check(verification.Stable)
 				} else {
 					// 48 distinct agents, drawn without replacement.
 					sample := p.RNG().Perm(n)[:48]
@@ -1171,9 +1183,12 @@ func registerEquilibrium() {
 				"social_cost", res.SocialCost, "opt_lb", lb,
 				"poa_vs_lb", res.PoA(lb),
 				"exact_oracle_ne", verified}
-			// Cache observability rides along in full mode only: quick-mode
-			// cells keep their historical byte-exact encoding, the nightly
-			// ladder gets the churn data.
+			// Cache observability and verification telemetry ride along in
+			// full mode only: quick-mode cells keep their historical
+			// byte-exact encoding, the nightly ladder gets the churn data
+			// plus worker count / certificate skip rate / wall time of the
+			// parallel verify (verify_ms is wall clock, hence volatile:
+			// check_shards.py allowlists it when comparing shard merges).
 			if !p.Quick {
 				st := cacheChurnProbe(s)
 				kv = append(kv,
@@ -1182,6 +1197,12 @@ func registerEquilibrium() {
 					"cache_probe_misses", st.Misses,
 					"cache_probe_evictions", st.Evictions,
 					"cache_probe_repairs", st.BatchRepairs)
+				if haveVerification {
+					kv = append(kv,
+						"verify_workers", verification.Workers,
+						"cert_skipped", verification.CertSkipped,
+						"verify_ms", verification.Elapsed.Milliseconds())
+				}
 			}
 			return []sweep.Record{sweep.R(kv...)}
 		},

@@ -61,6 +61,18 @@ func RunGreedyDynamicsToConvergence(s *State, b ConvergenceBudget) ConvergenceRe
 	return dynamics.RunToConvergence(s, dynamics.GreedyMover, dynamics.RoundRobin{}, b)
 }
 
+// ConvergenceVerification is an independent certified re-check of a
+// converged run: the parallel verifier's result plus the wall time it
+// took.
+type ConvergenceVerification = dynamics.Verification
+
+// VerifyConvergence re-checks a converged RunToConvergence outcome with
+// the certified parallel verifier (see VerifyGreedyEquilibrium). ok is
+// false when the run did not converge — there is nothing to certify.
+func VerifyConvergence(res ConvergenceResult, s *State, opt VerifyOptions) (ConvergenceVerification, bool) {
+	return dynamics.VerifyConvergence(res, s, opt)
+}
+
 // RunAddOnlyDynamics iterates best single buys until no agent wants
 // another edge: an add-only equilibrium, reached in at most ~n² moves.
 // Start from a connected profile (e.g. StarProfile) for meaningful

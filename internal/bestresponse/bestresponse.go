@@ -187,21 +187,11 @@ func BruteForce(s *game.State, u int) Result {
 
 // IsNash reports whether no agent has any strictly improving strategy
 // change, using exact best responses for every agent (computed in
-// parallel). Exponential in the worst case; intended for the small-n
-// verification tier.
+// parallel; see VerifyNashWorkers for the explicit-worker form).
+// Exponential in the worst case; intended for the small-n verification
+// tier.
 func IsNash(s *game.State) bool {
-	n := s.G.N()
-	ok := parallel.Map(n, func(u int) bool {
-		cur := s.Cost(u)
-		br := Exact(s, u)
-		return !s.G.Improves(br.Cost, cur)
-	})
-	for _, v := range ok {
-		if !v {
-			return false
-		}
-	}
-	return true
+	return VerifyNashWorkers(s, 0).Nash
 }
 
 // FirstDeviation returns an agent with a strictly improving exact best

@@ -48,6 +48,32 @@ func (r ConvergenceResult) PoA(optBound float64) float64 {
 	return r.SocialCost / optBound
 }
 
+// Verification couples the parallel verifier's report on a converged
+// state with the wall time the verification took. Elapsed is
+// machine-dependent and must not feed byte-deterministic outputs; the
+// embedded VerifyResult is worker-count-invariant and may.
+type Verification struct {
+	game.VerifyResult
+	Elapsed time.Duration
+}
+
+// VerifyConvergence re-checks a convergence run's final state with the
+// certified parallel verifier (game.VerifyGreedyEquilibrium): the
+// independent confirmation tier behind the equilibrium ladder's
+// exact_oracle_ne column. Convergence already implies a full no-move
+// round under the (pruned) mover, so this is a double-check against a
+// different code path — certificates plus, under opt.Exact, the
+// unpruned exhaustive oracle. ok is false, and no verification runs,
+// when the run did not converge (an Exhausted state proves nothing).
+func VerifyConvergence(res ConvergenceResult, s *game.State, opt game.VerifyOptions) (Verification, bool) {
+	if res.Outcome != Converged {
+		return Verification{}, false
+	}
+	start := time.Now()
+	v := game.VerifyGreedyEquilibrium(s, opt)
+	return Verification{VerifyResult: v, Elapsed: time.Since(start)}, true
+}
+
 // RunToConvergence drives move dynamics on state s (mutating it) until a
 // full round passes without an improving move, or a budget is exhausted.
 //

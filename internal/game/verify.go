@@ -1,0 +1,229 @@
+package game
+
+import (
+	"math"
+
+	"gncg/internal/parallel"
+)
+
+// This file is the concurrent equilibrium-verification entry point: a
+// worker-pool verifier for the greedy-equilibrium property built on the
+// same traffic-weighted gain bounds that prune BestSingleMove, promoted
+// here to first-class *certificates*. Verification is embarrassingly
+// parallel — each agent's check is a pure function of the frozen state —
+// and certificate-driven: an agent whose best possible single-move
+// improvement is provably <= the strict-improvement tolerance is skipped
+// without running its O(n·|S_u|) candidate scan at all.
+
+// GainCertificate is an upper bound on what any single *acquiring* move
+// (a buy, or the bought half of a swap) can gain agent u, derived from
+// u's current distance row and the network triangle inequality — the
+// moveBounds machinery behind the pruned scan, evaluated once over every
+// candidate instead of per scanned candidate.
+//
+// For each non-owned candidate x with host weight w = w(u,x), the
+// traffic-weighted distance gain of acquiring (u,x) is bounded above by
+// both T·max(0, d(u,x) − w) and Σ_y t(u,y)·max(0, d(u,y) − w) (see
+// moveBounds); AcquireBound is the maximum over candidates of the
+// smaller bound minus the α·w price. A swap additionally refunds the
+// deleted edge's price (its deletion only increases distances, so it
+// cannot enlarge the gain); MaxRefund is the largest refund available,
+// α·max_{v∈S_u} w(u,v). Slack is the float-noise margin inherited from
+// the pruned scan, sized to the agent's current cost, so a certificate
+// can never rule out a move the exact oracle would accept.
+type GainCertificate struct {
+	Agent int
+	// AcquireBound bounds, over every buyable non-owned candidate x,
+	// the distance gain minus edge price of acquiring (u,x). -Inf when
+	// no candidate is buyable.
+	AcquireBound float64
+	// MaxRefund is the largest swap refund: α times the heaviest edge u
+	// owns (0 when u owns nothing, so swaps are impossible anyway).
+	MaxRefund float64
+	// Slack absorbs ulp-level divergence between the real-arithmetic
+	// bounds and float path sums.
+	Slack float64
+}
+
+// RulesOutAcquisitions reports whether the certificate proves that no
+// single buy or swap can improve agent u's cost by more than eps: even
+// the loosest candidate, granted the largest possible swap refund,
+// falls short of the strict-improvement tolerance by more than the
+// float slack. Deletions are NOT covered — a certificate-skipped agent
+// still needs its |S_u| deletions checked (they are exact O(1)-count
+// evaluations, not part of the quadratic scan).
+func (c GainCertificate) RulesOutAcquisitions(eps float64) bool {
+	return c.AcquireBound+c.MaxRefund <= eps-c.Slack
+}
+
+// AcquireGainCertificate computes agent u's gain-bound certificate in
+// one O(n log n) pass (sorted-row prefix sums, then an O(log n) bound
+// per candidate). ok is false when u's current cost is infinite: an
+// agent that cannot reach a positive-demand node gains unboundedly from
+// reconnection, so no finite bound exists and callers must fall back to
+// a real scan.
+func (s *State) AcquireGainCertificate(u int) (cert GainCertificate, ok bool) {
+	cur := s.Cost(u)
+	pb := s.newMoveBounds(u, cur)
+	if pb == nil {
+		return GainCertificate{}, false
+	}
+	cert = GainCertificate{Agent: u, AcquireBound: math.Inf(-1), Slack: pb.slack}
+	owned := s.P.S[u]
+	n := s.G.N()
+	for x := 0; x < n; x++ {
+		if x == u || owned.Has(x) {
+			continue
+		}
+		w := s.hostWeight(u, x)
+		if math.IsInf(w, 1) {
+			continue // unbuyable pair: the edge price alone is +Inf
+		}
+		// O(1) triangle bound and the sorted-row bound; the smaller
+		// wins. duv[x] may be +Inf (unreachable zero-demand node): the
+		// pair bound is then +Inf and only the row bound constrains.
+		var pair float64
+		if duy := pb.duv[x]; pb.tpos > 0 && duy > w {
+			pair = pb.tpos * (duy - w)
+		}
+		b := pair
+		if g := pb.gainUB(w); g < b {
+			b = g
+		}
+		if net := b - pb.alpha*w; net > cert.AcquireBound {
+			cert.AcquireBound = net
+		}
+	}
+	maxW := 0.0
+	owned.ForEach(func(v int) {
+		if w := s.hostWeight(u, v); w > maxW {
+			maxW = w
+		}
+	})
+	cert.MaxRefund = pb.alpha * maxW
+	return cert, true
+}
+
+// VerifyOptions configures VerifyGreedyEquilibrium.
+type VerifyOptions struct {
+	// Workers is the verification worker count; <= 0 means
+	// parallel.Workers() (GOMAXPROCS). The result is identical for
+	// every worker count — only wall time changes.
+	Workers int
+	// Exact runs the unpruned exhaustive scan (BestSingleMoveExact) for
+	// agents the certificate cannot skip, making the verdict
+	// independent of the pruning bounds for those agents. Default
+	// (false) uses the pruned scan — outcome-identical by the pruning
+	// contract, and faster.
+	Exact bool
+	// NoCertificates disables gain-bound skipping: every agent runs a
+	// full scan. The verdict is unchanged (certificates are
+	// conservative); only CertSkipped/Scanned and wall time differ.
+	NoCertificates bool
+}
+
+// VerifyResult reports a concurrent verification.
+type VerifyResult struct {
+	// Stable is true when no agent has a strictly improving single-edge
+	// move: the state is a greedy equilibrium.
+	Stable bool
+	// FirstImproving is the smallest agent index with an improving
+	// move, or -1 when Stable. It is the same agent a serial in-order
+	// scan would report first, under any worker count.
+	FirstImproving int
+	// CertSkipped counts agents whose candidate scan was skipped
+	// because their gain-bound certificate ruled out every buy and
+	// swap (their deletions were still evaluated exactly).
+	CertSkipped int
+	// Scanned counts agents that ran a full candidate scan.
+	Scanned int
+	// Workers is the worker count actually used.
+	Workers int
+}
+
+// agentVerdict is one agent's worker-independent check outcome.
+type agentVerdict struct {
+	improving bool
+	skipped   bool
+}
+
+// VerifyGreedyEquilibrium checks whether the state is a greedy
+// equilibrium — no agent has a strictly improving buy, delete or swap —
+// by sharding the per-agent checks across a worker pool.
+//
+// The entry point is read-only: s itself is never mutated. Each worker
+// owns a contiguous block of agents (parallel.Blocks, a deterministic
+// partition) and verifies them against its own private clone of the
+// state, whose speculative distance cache (CostAfter's snapshot/rewind
+// contract) is reused across the whole block without per-check cloning.
+// Per-agent verdicts depend only on the frozen state, never on worker
+// count or scheduling, and fold into the result in fixed agent order —
+// so the returned VerifyResult is identical for any Workers setting,
+// which is what lets sweeps record it under the byte-identical sharding
+// contract (pinned by TestVerifyParallelMatchesSerialOracle).
+//
+// Each agent is checked at the cheapest sufficient tier: its
+// GainCertificate first (one O(n log n) bound pass); if the certificate
+// rules out every buy and swap, only the agent's |S_u| deletions are
+// evaluated exactly and the quadratic candidate scan is skipped
+// entirely (counted in CertSkipped). Otherwise the agent runs a full
+// scan — pruned by default, exhaustive under Exact.
+func VerifyGreedyEquilibrium(s *State, opt VerifyOptions) VerifyResult {
+	n := s.G.N()
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = parallel.Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	verdicts := make([]agentVerdict, n)
+	parallel.Blocks(n, workers, func(_, lo, hi int) {
+		work := s.Clone()
+		for u := lo; u < hi; u++ {
+			verdicts[u] = verifyAgent(work, u, opt)
+		}
+	})
+	res := VerifyResult{Stable: true, FirstImproving: -1, Workers: workers}
+	for u, v := range verdicts {
+		if v.skipped {
+			res.CertSkipped++
+		} else {
+			res.Scanned++
+		}
+		if v.improving && res.FirstImproving < 0 {
+			res.Stable = false
+			res.FirstImproving = u
+		}
+	}
+	return res
+}
+
+// verifyAgent checks one agent on a worker-private state. The verdict
+// is a pure function of the state and options.
+func verifyAgent(work *State, u int, opt VerifyOptions) (v agentVerdict) {
+	cur := work.Cost(u)
+	if !opt.NoCertificates && !math.IsInf(cur, 1) {
+		if cert, ok := work.AcquireGainCertificate(u); ok && cert.RulesOutAcquisitions(work.G.Eps) {
+			// Buys and swaps are ruled out; only the agent's own
+			// deletions remain, and there are at most |S_u| of them.
+			work.P.S[u].Clone().ForEach(func(x int) {
+				if v.improving {
+					return
+				}
+				after := work.CostAfter(Move{Agent: u, Kind: Delete, V: x})
+				if work.G.Improves(after, cur) {
+					v.improving = true
+				}
+			})
+			v.skipped = true
+			return v
+		}
+	}
+	if opt.Exact {
+		_, _, v.improving = work.BestSingleMoveExact(u)
+	} else {
+		_, _, v.improving = work.BestSingleMove(u)
+	}
+	return v
+}

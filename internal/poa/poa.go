@@ -4,9 +4,20 @@
 // equilibria found by dynamics on random instances. Together these
 // regenerate the PoA column of Table 1 and the quantitative content of
 // Figures 3, 6, 9 and 10.
+//
+// Equilibrium candidates are verified at the strongest affordable tier,
+// downgrading with instance size rather than failing: exact Nash
+// (TierExactNash, one exact best response per agent) up to
+// exactNashLimit, certified parallel greedy verification (TierGreedy,
+// game.VerifyGreedyEquilibrium) up to greedyVerifyLimitFor(workers),
+// and measurement-only (TierNone, rendered "unchecked") beyond. The
+// tier a row lands in depends only on n and the worker budget — never
+// on the verdict — and verdicts themselves are identical for every
+// worker count, so sweep rows stay byte-deterministic.
 package poa
 
 import (
+	"fmt"
 	"math"
 
 	"gncg/internal/bestresponse"
@@ -51,32 +62,85 @@ type Row struct {
 	Predicted float64
 	Tier      VerificationTier
 	Stable    bool // the candidate passed the check of its tier
+	// VerifyWorkers is the verification worker count the row's check
+	// ran with (0 when the row went unverified), and CertSkipped counts
+	// agents the greedy tier's gain-bound certificates proved stable
+	// without a candidate scan (game.GainCertificate). Both are
+	// worker-schedule-invariant, so rows stay byte-deterministic.
+	VerifyWorkers int
+	CertSkipped   int
 }
 
 // exactNashLimit bounds the instance size for exact NE verification in
-// sweeps: beyond it the greedy tier is used.
+// sweeps: beyond it the greedy tier is used. The check computes one
+// exact best response per agent — worst-case exponential regardless of
+// how many workers share the agents — so the limit does not scale with
+// the worker count: parallelism buys a constant factor against an
+// exponential wall.
 const exactNashLimit = 14
 
-// greedyVerifyLimit bounds the instance size for greedy-equilibrium
-// verification: each agent's scan is ~n candidate evaluations, so the
-// check is quadratic and stops paying for itself on the scale tier.
-// Beyond it the ratio is still measured (hosts are lazy, so construction
-// and cost evaluation stay O(n) memory at n = 5000+) but the candidate
-// goes unverified: TierNone with Stable=false, rendered "unchecked".
+// greedyVerifyLimit is the instance-size budget for single-worker
+// greedy-equilibrium verification. The magic number is a wall-clock
+// budget, not a correctness bound: each agent's certificate pass is
+// O(n log n) and each non-skipped agent's scan is ~n candidate
+// evaluations, so a full check is quadratic-plus and ~n = 2000 is where
+// it stops paying for itself in interactive sweeps on one core.
+//
+// greedyVerifyLimitFor scales the budget with the verification worker
+// count: total verification work grows ~quadratically in n while
+// workers divide wall time linearly, so equal wall time is reached at
+// n ≈ base·√workers (4 workers ⇒ ~4000, 16 ⇒ 8000). The downgrade
+// policy is unchanged: a row beyond the (scaled) limit still measures
+// its ratio — hosts are lazy, so construction and cost evaluation stay
+// O(n) memory at n = 5000+ — but goes unverified: TierNone with
+// Stable=false, rendered "unchecked".
 const greedyVerifyLimit = 2000
 
+func greedyVerifyLimitFor(workers int) int {
+	if workers <= 1 {
+		return greedyVerifyLimit
+	}
+	return int(float64(greedyVerifyLimit) * math.Sqrt(float64(workers)))
+}
+
 // VerifyLowerBound checks a construction's equilibrium candidate at the
-// strongest affordable tier and returns the sweep row.
+// strongest tier affordable on one verification worker and returns the
+// sweep row. (The single-worker form keeps tier assignment — and hence
+// row encoding — machine-independent; VerifyLowerBoundWorkers raises
+// the greedy tier's reach on multi-core budgets.)
 func VerifyLowerBound(lb *constructions.LowerBound, size int) Row {
+	return VerifyLowerBoundWorkers(lb, size, 1)
+}
+
+// VerifyLowerBoundWorkers checks a construction's equilibrium candidate
+// at the strongest tier affordable with the given verification worker
+// budget (<= 0 means GOMAXPROCS): exact Nash via one exact best
+// response per agent (bestresponse.VerifyNashWorkers) up to
+// exactNashLimit, then certificate-accelerated parallel greedy
+// verification (game.VerifyGreedyEquilibrium) up to
+// greedyVerifyLimitFor(workers), then measurement only. Verdicts are
+// identical for every worker count; only wall time and the tier cutoff
+// depend on the budget.
+func VerifyLowerBoundWorkers(lb *constructions.LowerBound, size, workers int) Row {
+	if workers <= 0 {
+		workers = parallel.Workers()
+	}
 	row := MeasureLowerBound(lb, size)
 	n := lb.Game.N()
 	switch {
 	case n <= exactNashLimit:
+		rep := bestresponse.VerifyNashWorkers(game.NewState(lb.Game, lb.Equilibrium.Clone()), workers)
 		row.Tier = TierExactNash
-		row.Stable = bestresponse.IsNash(game.NewState(lb.Game, lb.Equilibrium.Clone()))
-	case n <= greedyVerifyLimit:
+		row.Stable = rep.Nash
+		row.VerifyWorkers = rep.Workers
+	case n <= greedyVerifyLimitFor(workers):
+		res := game.VerifyGreedyEquilibrium(
+			game.NewState(lb.Game, lb.Equilibrium.Clone()),
+			game.VerifyOptions{Workers: workers})
 		row.Tier = TierGreedy
-		row.Stable = game.NewState(lb.Game, lb.Equilibrium.Clone()).IsGreedyEquilibrium()
+		row.Stable = res.Stable
+		row.VerifyWorkers = res.Workers
+		row.CertSkipped = res.CertSkipped
 	}
 	return row
 }
@@ -95,62 +159,60 @@ func MeasureLowerBound(lb *constructions.LowerBound, size int) Row {
 	}
 }
 
-// SweepThm15 regenerates the Fig. 6 series: the T–GNCG star family across
-// sizes for a fixed α.
-func SweepThm15(alpha float64, sizes []int) []Row {
+// familyConstructors maps the CLI family names to their lower-bound
+// constructors. thm8a1 ignores alpha (the family is defined at α = 1).
+var familyConstructors = map[string]func(size int, alpha float64) (*constructions.LowerBound, error){
+	"thm15":    constructions.Thm15Star,
+	"thm19":    constructions.Thm19CrossPolytope,
+	"thm8a1":   func(size int, _ float64) (*constructions.LowerBound, error) { return constructions.Thm8AlphaOne(size) },
+	"thm8half": constructions.Thm8HalfToOne,
+	"lemma8":   constructions.Lemma8Path,
+}
+
+// SweepFamily runs one named lower-bound family ("thm15", "thm19",
+// "thm8a1", "thm8half", "lemma8") across the size ladder with an
+// explicit verification worker budget per cell (<= 0 means GOMAXPROCS;
+// see VerifyLowerBoundWorkers). Cells are constructed in parallel;
+// verdicts and ratios are identical for any budget, only the tier cutoff
+// and wall time move.
+func SweepFamily(family string, alpha float64, sizes []int, verifyWorkers int) ([]Row, error) {
+	build, ok := familyConstructors[family]
+	if !ok {
+		return nil, fmt.Errorf("poa: unknown family %q", family)
+	}
 	return parallel.Map(len(sizes), func(i int) Row {
-		lb, err := constructions.Thm15Star(sizes[i], alpha)
+		lb, err := build(sizes[i], alpha)
 		if err != nil {
 			panic(err)
 		}
-		return VerifyLowerBound(lb, sizes[i])
-	})
+		return VerifyLowerBoundWorkers(lb, sizes[i], verifyWorkers)
+	}), nil
 }
+
+func mustSweep(family string, alpha float64, sizes []int) []Row {
+	rows, err := SweepFamily(family, alpha, sizes, 1)
+	if err != nil {
+		panic(err)
+	}
+	return rows
+}
+
+// SweepThm15 regenerates the Fig. 6 series: the T–GNCG star family across
+// sizes for a fixed α, verified on one worker.
+func SweepThm15(alpha float64, sizes []int) []Row { return mustSweep("thm15", alpha, sizes) }
 
 // SweepThm19 regenerates the Fig. 10 series: the ℓ1 cross-polytope family
-// across dimensions for a fixed α.
-func SweepThm19(alpha float64, dims []int) []Row {
-	return parallel.Map(len(dims), func(i int) Row {
-		lb, err := constructions.Thm19CrossPolytope(dims[i], alpha)
-		if err != nil {
-			panic(err)
-		}
-		return VerifyLowerBound(lb, dims[i])
-	})
-}
+// across dimensions for a fixed α, verified on one worker.
+func SweepThm19(alpha float64, dims []int) []Row { return mustSweep("thm19", alpha, dims) }
 
 // SweepThm8AlphaOne regenerates the Fig. 3 series for α = 1 across N.
-func SweepThm8AlphaOne(sizes []int) []Row {
-	return parallel.Map(len(sizes), func(i int) Row {
-		lb, err := constructions.Thm8AlphaOne(sizes[i])
-		if err != nil {
-			panic(err)
-		}
-		return VerifyLowerBound(lb, sizes[i])
-	})
-}
+func SweepThm8AlphaOne(sizes []int) []Row { return mustSweep("thm8a1", 1, sizes) }
 
 // SweepThm8HalfToOne regenerates the Fig. 3 series for 1/2 <= α < 1.
-func SweepThm8HalfToOne(alpha float64, sizes []int) []Row {
-	return parallel.Map(len(sizes), func(i int) Row {
-		lb, err := constructions.Thm8HalfToOne(sizes[i], alpha)
-		if err != nil {
-			panic(err)
-		}
-		return VerifyLowerBound(lb, sizes[i])
-	})
-}
+func SweepThm8HalfToOne(alpha float64, sizes []int) []Row { return mustSweep("thm8half", alpha, sizes) }
 
 // SweepLemma8 regenerates the Fig. 9 series across point counts.
-func SweepLemma8(alpha float64, sizes []int) []Row {
-	return parallel.Map(len(sizes), func(i int) Row {
-		lb, err := constructions.Lemma8Path(sizes[i], alpha)
-		if err != nil {
-			panic(err)
-		}
-		return VerifyLowerBound(lb, sizes[i])
-	})
-}
+func SweepLemma8(alpha float64, sizes []int) []Row { return mustSweep("lemma8", alpha, sizes) }
 
 // Empirical is the result of estimating the PoA on one random instance:
 // the worst equilibrium found by dynamics from several starts, against

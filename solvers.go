@@ -3,6 +3,7 @@ package gncg
 import (
 	"gncg/internal/bestresponse"
 	"gncg/internal/constructions"
+	"gncg/internal/game"
 	"gncg/internal/opt"
 	"gncg/internal/poa"
 	"gncg/internal/spanner"
@@ -59,6 +60,42 @@ func IsGreedyEquilibrium(s *State) bool { return s.IsGreedyEquilibrium() }
 
 // IsAddOnlyEquilibrium reports whether no agent improves by a single buy.
 func IsAddOnlyEquilibrium(s *State) bool { return s.IsAddOnlyEquilibrium() }
+
+// VerifyOptions configures a certified parallel greedy-equilibrium
+// verification: worker count (0 = GOMAXPROCS), exact vs pruned scans for
+// uncertified agents, and whether gain-bound certificates may skip
+// agents.
+type VerifyOptions = game.VerifyOptions
+
+// VerifyResult reports a certified verification: stability, the first
+// improving agent, and how many agents the certificates skipped. The
+// result is identical for every worker count.
+type VerifyResult = game.VerifyResult
+
+// GainCertificate is a per-agent upper bound on the gain of any single
+// acquiring move, used by VerifyGreedyEquilibrium to skip provably
+// stable agents without scanning their candidates.
+type GainCertificate = game.GainCertificate
+
+// VerifyGreedyEquilibrium checks the greedy-equilibrium property by
+// sharding per-agent checks across a worker pool, with gain-bound
+// certificates skipping agents whose best single move is provably not
+// improving. Read-only on s; the verdict is bit-identical to a serial
+// in-order scan for any worker count.
+func VerifyGreedyEquilibrium(s *State, opt VerifyOptions) VerifyResult {
+	return game.VerifyGreedyEquilibrium(s, opt)
+}
+
+// NashVerification reports a sharded exact-Nash check: the verdict, the
+// first deviating agent (-1 if none) and the worker count used.
+type NashVerification = bestresponse.NashReport
+
+// VerifyNashEquilibrium checks the exact Nash property with an explicit
+// worker budget (0 = GOMAXPROCS), one exact best response per agent.
+// Exponential worst case; intended for small n.
+func VerifyNashEquilibrium(s *State, workers int) NashVerification {
+	return bestresponse.VerifyNashWorkers(s, workers)
+}
 
 // NashApproxFactor returns the smallest β for which the state is a β-NE.
 func NashApproxFactor(s *State) float64 { return bestresponse.NashApproxFactor(s) }
