@@ -10,19 +10,32 @@ contract. OTHER may be individual shard files or a coordinator-merged
 file (which simply contains every cell already in order). Shared by the
 per-push CI quick sweep and the scale-nightly workflow.
 
-Exception: keys in VOLATILE_KEYS are wall-clock measurements, not
-computed results — deterministic in *presence* but not in value (the
-sharding contract pins verification *verdicts*, not how long a verify
-took). Their values are masked on both sides before comparison, so a
-run that gained or lost such a key still fails.
+OTHER may also be a coordinator job journal (journal.jsonl): its "done"
+lines wrap the verbatim canonical cell bytes in scheduling telemetry
+({"type": "done", "shard": ..., "lease_ms": ..., "steals": ...,
+"cell": {...}}), which is stripped before comparison — so the nightly
+kill-and-resume leg can gate the durable store itself, not just its
+re-encoded output. Lease/expire audit lines carry no "seq" and are
+ignored.
+
+Exception: keys in VOLATILE_KEYS are wall-clock or scheduling
+measurements, not computed results — deterministic in *presence* but not
+in value (the sharding contract pins verification *verdicts*, not how
+long a verify took; which shard computed a cell, how long its lease ran
+and how often it was stolen depend on crash timing). Their values are
+masked on both sides before comparison, so a run that gained or lost
+such a key still fails.
 """
 
 import re
 import sys
 
-# Wall-clock fields recorded for observability; byte-identity applies to
-# everything else in the cell.
-VOLATILE_KEYS = ("verify_ms",)
+# Wall-clock / scheduling fields recorded for observability;
+# byte-identity applies to everything else in the cell. lease_ms and
+# steals normally live in the journal wrapper (removed by unwrap), but
+# masking them too keeps the contract explicit should they ever appear
+# in a result column.
+VOLATILE_KEYS = ("verify_ms", "lease_ms", "steals")
 
 
 def normalize(line):
@@ -31,9 +44,29 @@ def normalize(line):
     return line
 
 
+def unwrap(line):
+    """Strip the telemetry wrapper of a journal done-line.
+
+    All telemetry keys precede "cell", and the cell bytes are embedded
+    verbatim, so the cell is exactly the slice from the brace after
+    '"cell": ' to just before the line's final closing brace.
+    """
+    if not line.startswith('{"type": "done"'):
+        return line
+    m = re.search(r'"cell": ', line)
+    if not m:
+        return line
+    return line[m.end():line.rfind("}")]
+
+
 def cells(path):
+    out = []
     with open(path) as f:
-        return [normalize(line.strip().rstrip(",")) for line in f if '"seq"' in line]
+        for line in f:
+            line = unwrap(line.strip().rstrip(","))
+            if '"seq"' in line:
+                out.append(normalize(line))
+    return out
 
 
 def main(argv):

@@ -1244,7 +1244,7 @@ func cacheChurnProbe(s *game.State) game.CacheStats {
 	return c.CacheStats()
 }
 
-// registerCycleCensus maps where greedy dynamics on ℓ2 hosts stop
+// registerCycleCensus maps where greedy dynamics on p-norm hosts stop
 // converging — the empirical face of the paper's Conjecture 1 (no FIP
 // for any p-norm) and of the improving-move cycles PR 4 stumbled on
 // while tuning the equilibrium ladder. Each cell plays greedy dynamics
@@ -1258,21 +1258,28 @@ func cacheChurnProbe(s *game.State) game.CacheStats {
 // declare.
 func registerCycleCensus() {
 	sweep.Register(sweep.Experiment{
-		Name: "cycle_census", Title: "Conjecture 1 census: greedy-dynamics convergence map on l2 hosts",
+		Name: "cycle_census", Title: "Conjecture 1 census: greedy-dynamics convergence map on p-norm hosts",
 		Note: "alpha = alpha_scale * n. Path starts at moderate alpha are where verified " +
 			"improving-move cycles live (exact profile recurrence, independently replayed); " +
 			"star starts converge immediately at these alphas. A 'converged' cell is evidence " +
 			"of nothing beyond itself — FIP refutation is one-sided.",
 		Tags: []string{"dynamics", "conjecture1"},
 		Space: func(quick bool) sweep.Space {
+			// The full census brackets the α ≈ n transition densely
+			// (0.5–1.5 in quarter steps is where path starts flip between
+			// converging and cycling) and crosses the host p-norm, since
+			// Conjecture 1 claims no FIP for ANY p ∈ [1, ∞]. Quick keeps
+			// the original p=2, scale∈{1,2} slice so its cost is unchanged.
 			ns := sweep.Ints("n", 40, 60, 80, 100, 150)
-			scales := sweep.Floats("alpha_scale", 1, 2, 4, 8)
+			scales := sweep.Floats("alpha_scale", 0.5, 0.75, 1, 1.25, 1.5, 2, 4, 8)
+			norms := sweep.Floats("p", 1, 2, math.Inf(1))
 			if quick {
 				ns = sweep.Ints("n", 80, 100)
 				scales = sweep.Floats("alpha_scale", 1, 2)
+				norms = sweep.Floats("p", 2)
 			}
 			return sweep.Space{Axes: []sweep.Axis{
-				ns, scales,
+				ns, scales, norms,
 				sweep.Strings("sched", "rr", "random"),
 				sweep.Strings("start", "path", "star"),
 			}}
@@ -1281,7 +1288,7 @@ func registerCycleCensus() {
 		Run: func(p sweep.Params) []sweep.Record {
 			n := p.Int("n")
 			alpha := p.Float("alpha_scale") * float64(n)
-			g := game.New(game.NewHost(gen.Points(13, n, 2, 1000, 2)), alpha)
+			g := game.New(game.NewHost(gen.Points(13, n, 2, 1000, p.Float("p"))), alpha)
 			var start game.Profile
 			switch p.Str("start") {
 			case "path":

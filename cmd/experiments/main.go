@@ -23,6 +23,13 @@
 //	                                   # combine shard outputs (sweep.Merge)
 //	experiments coordinate -shards 4 -out merged.json
 //	                                   # launch 4 shard subprocesses and merge
+//	experiments serve -job dir/ -shards 4 -out merged.json
+//	                                   # durable work-stealing run: journal,
+//	                                   # lease protocol, /status endpoint
+//	experiments serve -job dir/ -resume
+//	                                   # continue a crashed/interrupted job
+//	experiments work -connect 127.0.0.1:PORT
+//	                                   # join a running job as an extra shard
 //
 // Sharded runs of the same selection are deterministic: the merged output
 // of all K shards is byte-identical to an unsharded run, for any K and
@@ -36,6 +43,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +52,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"gncg/internal/sweep"
 )
@@ -61,6 +70,10 @@ func main() {
 			os.Exit(mergeMain(os.Args[2:], os.Stderr))
 		case "coordinate":
 			os.Exit(coordinateMain(os.Args[2:], os.Stderr))
+		case "serve":
+			os.Exit(serveMain(os.Args[2:], os.Stderr))
+		case "work":
+			os.Exit(workMain(os.Args[2:], os.Stderr))
 		}
 	}
 	list := flag.Bool("list", false, "list experiment ids, tags and cell counts, then exit")
@@ -278,10 +291,14 @@ func coordinateMain(args []string, stderr io.Writer) int {
 		return 1
 	}
 
-	// The K children stream diagnostics concurrently into one writer;
-	// exec copies through a goroutine per child whenever the writer is
-	// not an *os.File, so serialize the writes.
-	childSink := &lockedWriter{w: stderr}
+	// The K children stream diagnostics live, one "[shard N]"-prefixed
+	// line at a time, onto one serialized writer — long sweeps stay
+	// observable while running. A crashed child is retried with bounded
+	// backoff (the shard is a deterministic pure function of its index,
+	// so a rerun reproduces it exactly); a child exiting 1 wrote its
+	// results but carried a failed cell, which retrying cannot change, so
+	// it is not relaunched.
+	out := &lockedWriter{w: stderr}
 	files := make([]string, *shards)
 	errs := make([]error, *shards)
 	var wg sync.WaitGroup
@@ -302,20 +319,22 @@ func coordinateMain(args []string, stderr io.Writer) int {
 		wg.Add(1)
 		go func(i int, cargs []string) {
 			defer wg.Done()
-			cmd := exec.Command(exe, cargs...)
-			cmd.Stdout = childSink // children render nothing, but never share our stdout
-			cmd.Stderr = childSink
-			errs[i] = cmd.Run()
+			errs[i] = superviseChild(childSpec{
+				exe: exe, args: cargs, prefix: fmt.Sprintf("[shard %d] ", i), out: out,
+				attempts: 3, backoff: 500 * time.Millisecond,
+				noRetryExit: []int{1, 2},
+			})
 		}(i, cargs)
 	}
 	wg.Wait()
 	failed := false
 	for i, err := range errs {
 		if err != nil {
-			// A child exiting 1 wrote its results but carried a failed
-			// cell; the merged FirstErr below reports it properly. Any
-			// other failure is fatal here.
-			if ee, ok := err.(*exec.ExitError); ok && ee.ExitCode() == 1 {
+			// Exit 1 means the shard's results were written but carry a
+			// failed cell; the merged FirstErr below reports it properly.
+			// Any other failure (still crashing after retries) is fatal.
+			var ee *exec.ExitError
+			if errors.As(err, &ee) && ee.ExitCode() == 1 {
 				failed = true
 				continue
 			}

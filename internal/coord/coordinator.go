@@ -1,0 +1,415 @@
+package coord
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gncg/internal/sweep"
+)
+
+// Options tunes the coordinator's lease protocol.
+type Options struct {
+	// LeaseTTL is how long a lease may go without a heartbeat before its
+	// cells are re-issued to other shards. Default 60s.
+	LeaseTTL time.Duration
+	// Batch caps cells per lease. 0 means adaptive: pending/(4*shards),
+	// clamped to [1,16], so heterogeneous grids drain in small slices and
+	// self-balance instead of tail-stalling on one static assignment.
+	Batch int
+	// Logf, if non-nil, receives advisory scheduling events (grants,
+	// expiries, completion). Never mixed into result encoding.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) ttl() time.Duration {
+	if o.LeaseTTL > 0 {
+		return o.LeaseTTL
+	}
+	return 60 * time.Second
+}
+
+type lease struct {
+	id       int64
+	shard    string
+	seqs     []int
+	granted  time.Time
+	lastBeat time.Time
+}
+
+type shardInfo struct {
+	lastSeen  time.Time
+	cellsDone int
+	leases    int
+}
+
+// Coordinator owns the scheduling state of one job: the pending queue
+// (ascending seq order), the outstanding leases, and the per-shard
+// bookkeeping. Finished cells go straight to the durable Store, so the
+// coordinator's own state is entirely reconstructible: on restart,
+// pending is simply the spec's enumeration minus the store's done set,
+// and all leases are (correctly) forgotten.
+type Coordinator struct {
+	store *Store
+	refs  []sweep.CellRef // full enumeration, indexed by seq
+	opts  Options
+	start time.Time
+
+	mu        sync.Mutex
+	pending   []int // ascending; not done, not leased
+	leases    map[int64]*lease
+	leasedSeq map[int]int64 // seq -> holding lease
+	steals    map[int]int   // seq -> expired-lease count
+	shards    map[string]*shardInfo
+	nextLease int64
+	nStolen   int64 // cells re-issued after lease expiry
+	nExpired  int64 // leases expired
+	doneCh    chan struct{}
+	completed bool
+}
+
+// New builds a coordinator over an opened store. refs must be the
+// enumeration of the store's JobSpec (sweep.Enumerate of the same
+// selection); cells the store already holds are not re-queued.
+func New(store *Store, refs []sweep.CellRef, opts Options) (*Coordinator, error) {
+	if len(refs) != store.Spec().Cells {
+		return nil, fmt.Errorf("coord: enumeration has %d cells, job spec says %d", len(refs), store.Spec().Cells)
+	}
+	c := &Coordinator{
+		store: store, refs: refs, opts: opts, start: time.Now(),
+		leases:    map[int64]*lease{},
+		leasedSeq: map[int]int64{},
+		steals:    map[int]int{},
+		shards:    map[string]*shardInfo{},
+		doneCh:    make(chan struct{}),
+	}
+	done := map[int]bool{}
+	for _, seq := range store.DoneSeqs() {
+		done[seq] = true
+	}
+	for _, r := range refs {
+		if !done[r.Seq] {
+			c.pending = append(c.pending, r.Seq)
+		}
+	}
+	sort.Ints(c.pending)
+	if len(c.pending) == 0 {
+		c.completed = true
+		close(c.doneCh)
+	}
+	return c, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// Done is closed once every cell of the job is in the store.
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// Job returns the job identity workers handshake against.
+func (c *Coordinator) Job() JobSpec { return c.store.Spec() }
+
+// Lease grants the named shard up to max pending cells (0 = the
+// coordinator's batch policy). It returns the lease id, the granted seqs
+// (nil when nothing is pending right now), the lease TTL, and whether
+// the whole job is complete — the worker's signal to exit.
+func (c *Coordinator) Lease(shard string, max int) (id int64, seqs []int, ttl time.Duration, jobDone bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchShard(shard)
+	if c.completed {
+		return 0, nil, c.opts.ttl(), true
+	}
+	if len(c.pending) == 0 {
+		// Everything is done or out on lease; the worker waits — an
+		// expiry may hand it stolen work shortly.
+		return 0, nil, c.opts.ttl(), false
+	}
+	batch := c.opts.Batch
+	if max > 0 && (batch == 0 || max < batch) {
+		batch = max
+	}
+	if batch <= 0 {
+		batch = len(c.pending) / (4 * len(c.shards))
+		if batch < 1 {
+			batch = 1
+		}
+		if batch > 16 {
+			batch = 16
+		}
+	}
+	if batch > len(c.pending) {
+		batch = len(c.pending)
+	}
+	seqs = append([]int(nil), c.pending[:batch]...)
+	c.pending = c.pending[batch:]
+	c.nextLease++
+	id = c.nextLease
+	now := time.Now()
+	l := &lease{id: id, shard: shard, seqs: seqs, granted: now, lastBeat: now}
+	c.leases[id] = l
+	for _, seq := range seqs {
+		c.leasedSeq[seq] = id
+	}
+	c.shards[shard].leases++
+	c.store.Event("lease", id, shard, seqs)
+	c.logf("coord: lease %d -> %s: %d cells [%d..%d]", id, shard, len(seqs), seqs[0], seqs[len(seqs)-1])
+	return id, seqs, c.opts.ttl(), false
+}
+
+// Heartbeat extends a lease. false means the lease is unknown or already
+// expired — the worker should abandon the batch (its cells are being
+// re-issued; a late report is still accepted and deduplicated).
+func (c *Coordinator) Heartbeat(id int64, shard string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchShard(shard)
+	l, ok := c.leases[id]
+	if !ok {
+		return false
+	}
+	l.lastBeat = time.Now()
+	return true
+}
+
+// Report checkpoints a lease's finished cells into the store. It is
+// idempotent per cell and accepts late reports from expired leases: a
+// cell is deterministic, so whoever computes it first wins and identical
+// duplicates are dropped at the store.
+func (c *Coordinator) Report(id int64, shard string, cells []sweep.CellResult) error {
+	c.mu.Lock()
+	c.touchShard(shard)
+	l := c.leases[id]
+	leaseMS := int64(0)
+	if l != nil {
+		leaseMS = time.Since(l.granted).Milliseconds()
+	}
+	var entries []Done
+	for _, cell := range cells {
+		entries = append(entries, Done{Cell: cell, Shard: shard, LeaseMS: leaseMS, Steals: c.steals[cell.Seq]})
+	}
+	c.mu.Unlock()
+	// The store has its own lock and fsyncs; keep the scheduler lock out
+	// of the disk path.
+	if err := c.store.Append(entries); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cell := range cells {
+		// Release only this lease's claim: a stolen cell may already be
+		// re-leased to another shard, whose own report will clean up (and
+		// deduplicate at the store).
+		if c.leasedSeq[cell.Seq] == id {
+			delete(c.leasedSeq, cell.Seq)
+		}
+		// A stolen cell may still sit in pending (re-queued on expiry):
+		// drop it so it is not executed again.
+		c.dropPending(cell.Seq)
+		if si := c.shards[shard]; si != nil {
+			si.cellsDone++
+		}
+	}
+	if l != nil {
+		delete(c.leases, id)
+		for _, seq := range l.seqs {
+			if c.leasedSeq[seq] == id {
+				// Granted but not reported (partial report from a
+				// misbehaving worker): requeue unless already done.
+				delete(c.leasedSeq, seq)
+				if !c.store.IsDone(seq) {
+					c.requeue(seq)
+				}
+			}
+		}
+	}
+	if c.store.CountDone() == len(c.refs) && !c.completed {
+		c.completed = true
+		close(c.doneCh)
+		c.logf("coord: job complete: %d cells", len(c.refs))
+	}
+	return nil
+}
+
+// ExpireStale re-issues the cells of every lease whose last heartbeat is
+// older than the TTL — the crash path: a SIGKILLed shard loses only its
+// in-flight lease. Returns the number of leases expired. The server runs
+// this periodically.
+func (c *Coordinator) ExpireStale() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ttl := c.opts.ttl()
+	now := time.Now()
+	n := 0
+	for id, l := range c.leases {
+		if now.Sub(l.lastBeat) <= ttl {
+			continue
+		}
+		n++
+		c.nExpired++
+		var stolen []int
+		for _, seq := range l.seqs {
+			if c.leasedSeq[seq] == id {
+				delete(c.leasedSeq, seq)
+				c.steals[seq]++
+				c.nStolen++
+				c.requeue(seq)
+				stolen = append(stolen, seq)
+			}
+		}
+		delete(c.leases, id)
+		c.store.Event("expire", id, l.shard, stolen)
+		c.logf("coord: lease %d (%s) expired after %s; %d cells re-issued",
+			id, l.shard, now.Sub(l.lastBeat).Truncate(time.Millisecond), len(stolen))
+	}
+	return n
+}
+
+func (c *Coordinator) touchShard(shard string) {
+	si := c.shards[shard]
+	if si == nil {
+		si = &shardInfo{}
+		c.shards[shard] = si
+	}
+	si.lastSeen = time.Now()
+}
+
+// requeue inserts seq back into pending, keeping ascending order.
+func (c *Coordinator) requeue(seq int) {
+	i := sort.SearchInts(c.pending, seq)
+	if i < len(c.pending) && c.pending[i] == seq {
+		return
+	}
+	c.pending = append(c.pending, 0)
+	copy(c.pending[i+1:], c.pending[i:])
+	c.pending[i] = seq
+}
+
+func (c *Coordinator) dropPending(seq int) {
+	i := sort.SearchInts(c.pending, seq)
+	if i < len(c.pending) && c.pending[i] == seq {
+		c.pending = append(c.pending[:i], c.pending[i+1:]...)
+	}
+}
+
+// Status is the JSON shape of the /status endpoint: live job progress,
+// shard liveness, outstanding lease ages and steal telemetry. It is
+// observability data — deliberately not part of any byte-pinned output.
+type Status struct {
+	State    string  `json:"state"` // "running" or "done"
+	UptimeMS int64   `json:"uptime_ms"`
+	Job      JobSpec `json:"job"`
+	Progress struct {
+		Done    int `json:"done"`
+		Leased  int `json:"leased"`
+		Pending int `json:"pending"`
+	} `json:"progress"`
+	Experiments []ExpStatus   `json:"experiments"`
+	Shards      []ShardStatus `json:"shards"`
+	Leases      []LeaseStatus `json:"leases"`
+	Steals      int64         `json:"steals"`       // leases expired
+	CellsStolen int64         `json:"cells_stolen"` // cells re-issued
+}
+
+// ExpStatus is one experiment's cell progress.
+type ExpStatus struct {
+	Name    string `json:"name"`
+	Done    int    `json:"done"`
+	Leased  int    `json:"leased"`
+	Pending int    `json:"pending"`
+}
+
+// ShardStatus is one shard's liveness and throughput.
+type ShardStatus struct {
+	Name        string `json:"name"`
+	LastSeenMS  int64  `json:"last_seen_ms"`
+	Alive       bool   `json:"alive"` // seen within one TTL
+	CellsDone   int    `json:"cells_done"`
+	LeasesTaken int    `json:"leases_taken"`
+}
+
+// LeaseStatus is one outstanding lease.
+type LeaseStatus struct {
+	ID          int64  `json:"id"`
+	Shard       string `json:"shard"`
+	Cells       int    `json:"cells"`
+	AgeMS       int64  `json:"age_ms"`
+	SinceBeatMS int64  `json:"since_heartbeat_ms"`
+}
+
+// Status snapshots the coordinator for the HTTP endpoint.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	var st Status
+	st.State = "running"
+	if c.completed {
+		st.State = "done"
+	}
+	st.UptimeMS = now.Sub(c.start).Milliseconds()
+	st.Job = c.store.Spec()
+	doneSeqs := c.store.DoneSeqs()
+	done := make(map[int]bool, len(doneSeqs))
+	for _, seq := range doneSeqs {
+		done[seq] = true
+	}
+	st.Progress.Done = len(doneSeqs)
+	st.Progress.Leased = len(c.leasedSeq)
+	st.Progress.Pending = len(c.pending)
+	byExp := map[string]*ExpStatus{}
+	var order []string
+	for _, r := range c.refs {
+		es := byExp[r.Experiment]
+		if es == nil {
+			es = &ExpStatus{Name: r.Experiment}
+			byExp[r.Experiment] = es
+			order = append(order, r.Experiment)
+		}
+		switch {
+		case done[r.Seq]:
+			es.Done++
+		case c.leasedSeq[r.Seq] != 0:
+			es.Leased++
+		default:
+			es.Pending++
+		}
+	}
+	for _, name := range order {
+		st.Experiments = append(st.Experiments, *byExp[name])
+	}
+	var shardNames []string
+	for name := range c.shards {
+		shardNames = append(shardNames, name)
+	}
+	sort.Strings(shardNames)
+	for _, name := range shardNames {
+		si := c.shards[name]
+		st.Shards = append(st.Shards, ShardStatus{
+			Name:       name,
+			LastSeenMS: now.Sub(si.lastSeen).Milliseconds(),
+			Alive:      now.Sub(si.lastSeen) <= c.opts.ttl(),
+			CellsDone:  si.cellsDone, LeasesTaken: si.leases,
+		})
+	}
+	var leaseIDs []int64
+	for id := range c.leases {
+		leaseIDs = append(leaseIDs, id)
+	}
+	sort.Slice(leaseIDs, func(i, j int) bool { return leaseIDs[i] < leaseIDs[j] })
+	for _, id := range leaseIDs {
+		l := c.leases[id]
+		st.Leases = append(st.Leases, LeaseStatus{
+			ID: id, Shard: l.shard, Cells: len(l.seqs),
+			AgeMS:       now.Sub(l.granted).Milliseconds(),
+			SinceBeatMS: now.Sub(l.lastBeat).Milliseconds(),
+		})
+	}
+	st.Steals = c.nExpired
+	st.CellsStolen = c.nStolen
+	return st
+}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -57,6 +58,23 @@ func DecodeJSON(r io.Reader) (*ResultSet, error) {
 		return nil, fmt.Errorf("sweep: decode: trailing content after result set (token %v, err %v); pass shard files separately instead of concatenating", tok, err)
 	}
 	return rs, nil
+}
+
+// DecodeCellJSON parses one cell object previously rendered by CellJSON
+// (or embedded in an EncodeJSON set). Re-encoding the decoded cell with
+// CellJSON reproduces the input bytes — the same round-trip contract
+// DecodeJSON gives whole sets — so journaled cells replay exactly.
+func DecodeCellJSON(data []byte) (CellResult, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	c, err := decodeCell(dec)
+	if err != nil {
+		return c, fmt.Errorf("sweep: decode cell: %w", err)
+	}
+	if tok, err := dec.Token(); err != io.EOF {
+		return c, fmt.Errorf("sweep: decode cell: trailing content (token %v, err %v)", tok, err)
+	}
+	return c, nil
 }
 
 func decodeCell(dec *json.Decoder) (CellResult, error) {

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -22,40 +23,62 @@ func (rs *ResultSet) EncodeJSON(w io.Writer) error {
 		if ci > 0 {
 			bw.WriteByte(',')
 		}
-		bw.WriteString("\n    {")
-		fmt.Fprintf(bw, "\"seq\": %d, \"experiment\": %s, \"cell\": %d",
-			c.Seq, report.JSONValue(c.Experiment), c.Cell.Index)
-		if len(c.Cell.Values) > 0 {
-			bw.WriteString(", \"params\": {")
-			for pi, kv := range c.Cell.Values {
-				if pi > 0 {
-					bw.WriteString(", ")
-				}
-				fmt.Fprintf(bw, "%s: %s", report.JSONValue(kv.Axis), report.JSONValue(kv.Value))
-			}
-			bw.WriteByte('}')
-		}
-		if c.Err != "" {
-			fmt.Fprintf(bw, ", \"err\": %s", report.JSONValue(c.Err))
-		}
-		bw.WriteString(", \"records\": [")
-		for ri, r := range c.Records {
-			if ri > 0 {
-				bw.WriteString(", ")
-			}
-			bw.WriteByte('{')
-			for fi, f := range r.Fields {
-				if fi > 0 {
-					bw.WriteString(", ")
-				}
-				fmt.Fprintf(bw, "%s: %s", report.JSONValue(f.Key), report.JSONValue(f.Value))
-			}
-			bw.WriteByte('}')
-		}
-		bw.WriteString("]}")
+		bw.WriteString("\n    ")
+		encodeCell(bw, c)
 	}
 	bw.WriteString("\n  ]\n}\n")
 	return bw.Flush()
+}
+
+// encodeCell writes one cell as the canonical single-line JSON object
+// EncodeJSON embeds — the byte representation the determinism contract
+// pins, shared by whole-set encoding and the per-cell journal format.
+func encodeCell(bw *bufio.Writer, c CellResult) {
+	bw.WriteByte('{')
+	fmt.Fprintf(bw, "\"seq\": %d, \"experiment\": %s, \"cell\": %d",
+		c.Seq, report.JSONValue(c.Experiment), c.Cell.Index)
+	if len(c.Cell.Values) > 0 {
+		bw.WriteString(", \"params\": {")
+		for pi, kv := range c.Cell.Values {
+			if pi > 0 {
+				bw.WriteString(", ")
+			}
+			fmt.Fprintf(bw, "%s: %s", report.JSONValue(kv.Axis), report.JSONValue(kv.Value))
+		}
+		bw.WriteByte('}')
+	}
+	if c.Err != "" {
+		fmt.Fprintf(bw, ", \"err\": %s", report.JSONValue(c.Err))
+	}
+	bw.WriteString(", \"records\": [")
+	for ri, r := range c.Records {
+		if ri > 0 {
+			bw.WriteString(", ")
+		}
+		bw.WriteByte('{')
+		for fi, f := range r.Fields {
+			if fi > 0 {
+				bw.WriteString(", ")
+			}
+			fmt.Fprintf(bw, "%s: %s", report.JSONValue(f.Key), report.JSONValue(f.Value))
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteString("]}")
+}
+
+// CellJSON renders one cell result as its canonical single-line JSON
+// object: exactly the bytes EncodeJSON would embed for the cell. It is
+// the interchange unit of the work-stealing workflow — workers report
+// cells in this form, the job store journals them verbatim — so the
+// assembled output of any crash/resume interleaving stays byte-identical
+// to an unsharded run.
+func CellJSON(c CellResult) []byte {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	encodeCell(bw, c)
+	bw.Flush()
+	return buf.Bytes()
 }
 
 // EncodeCSV writes the result set in long format — one row per record

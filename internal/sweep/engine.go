@@ -75,6 +75,31 @@ type cellTask struct {
 	cell Params
 }
 
+// CellRef identifies one cell of a selection's deterministic enumeration:
+// its global sequence number, owning experiment and cell index. The
+// sequence number alone is a complete, serializable cell key for a fixed
+// (selection, quick) pair — shard assignment, job-store journals and
+// lease protocols key on it.
+type CellRef struct {
+	Seq        int
+	Experiment string
+	Index      int
+}
+
+// Enumerate expands the selected experiments in order and assigns global
+// sequence numbers. This is exactly the enumeration Run and RunSeqs
+// execute, so external coordinators (lease queues, job stores) can plan
+// work without diverging from a run.
+func Enumerate(exps []Experiment, quick bool) []CellRef {
+	var refs []CellRef
+	for _, e := range exps {
+		for _, cell := range e.Cells(quick) {
+			refs = append(refs, CellRef{Seq: len(refs), Experiment: e.Name, Index: cell.Index})
+		}
+	}
+	return refs
+}
+
 // Run expands the selected experiments into cells, assigns each cell a
 // global sequence number, keeps the cells belonging to this shard
 // (seq mod Shards == Shard) and executes them over a bounded worker pool.
@@ -98,6 +123,43 @@ func Run(exps []Experiment, cfg Config) (*ResultSet, error) {
 			seq++
 		}
 	}
+	return runTasks(tasks, cfg)
+}
+
+// RunSeqs executes exactly the cells with the given global sequence
+// numbers (in the enumeration of Enumerate) and returns their results in
+// ascending sequence order, whatever order seqs came in. It is the
+// work-stealing coordinator's execution primitive: a leased cell range is
+// an arbitrary seq set, not a residue class. Unknown sequence numbers are
+// an error — they mean the caller's enumeration disagrees with this
+// binary's.
+func RunSeqs(exps []Experiment, cfg Config, seqs []int) (*ResultSet, error) {
+	want := make(map[int]bool, len(seqs))
+	for _, s := range seqs {
+		want[s] = true
+	}
+	var tasks []cellTask
+	seq := 0
+	for _, e := range exps {
+		for _, cell := range e.Cells(cfg.Quick) {
+			if want[seq] {
+				tasks = append(tasks, cellTask{seq: seq, exp: e, cell: cell})
+				delete(want, seq)
+			}
+			seq++
+		}
+	}
+	if len(want) > 0 {
+		return nil, fmt.Errorf("sweep: %d requested seqs out of range [0,%d) — enumeration mismatch", len(want), seq)
+	}
+	return runTasks(tasks, cfg)
+}
+
+// runTasks executes an already-planned task list (ascending by seq) over
+// a bounded worker pool, placing results by index so the returned set's
+// order — and its encoded bytes — are independent of worker count and
+// scheduling.
+func runTasks(tasks []cellTask, cfg Config) (*ResultSet, error) {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = parallel.Workers()

@@ -1,0 +1,125 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestEnumerateMatchesRun: Enumerate's refs are exactly the cells Run
+// executes — same count, ascending seqs, matching experiment and index —
+// so coordinators planning from Enumerate can never diverge from a run.
+func TestEnumerateMatchesRun(t *testing.T) {
+	exps := toyExperiments()
+	refs := Enumerate(exps, false)
+	rs, err := Run(exps, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != len(rs.Cells) {
+		t.Fatalf("Enumerate has %d refs, Run produced %d cells", len(refs), len(rs.Cells))
+	}
+	for i, ref := range refs {
+		c := rs.Cells[i]
+		if ref.Seq != i || ref.Seq != c.Seq || ref.Experiment != c.Experiment || ref.Index != c.Cell.Index {
+			t.Fatalf("ref %d = %+v, cell = {seq %d exp %s idx %d}",
+				i, ref, c.Seq, c.Experiment, c.Cell.Index)
+		}
+	}
+}
+
+// TestRunSeqsMatchesRun: executing an arbitrary (unbalanced, shuffled)
+// partition of the sequence space through RunSeqs and merging is
+// byte-identical to an unsharded Run — the lease-range execution
+// contract of the work-stealing coordinator.
+func TestRunSeqsMatchesRun(t *testing.T) {
+	exps := toyExperiments()
+	ref, err := Run(exps, Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refJSON bytes.Buffer
+	if err := ref.EncodeJSON(&refJSON); err != nil {
+		t.Fatal(err)
+	}
+	total := len(Enumerate(exps, true))
+	// Three "leases" of very different sizes, each in scrambled order.
+	var parts [][]int
+	parts = append(parts, []int{total - 1, 0})
+	var mid, rest []int
+	for s := 1; s < total-1; s++ {
+		if s%3 == 0 {
+			mid = append(mid, s)
+		} else {
+			rest = append(rest, s)
+		}
+	}
+	// Reverse to prove input order is irrelevant.
+	for i, j := 0, len(rest)-1; i < j; i, j = i+1, j-1 {
+		rest[i], rest[j] = rest[j], rest[i]
+	}
+	parts = append(parts, mid, rest)
+	var sets []*ResultSet
+	for _, seqs := range parts {
+		rs, err := RunSeqs(exps, Config{Quick: true, Workers: 3}, seqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(rs.Cells); i++ {
+			if rs.Cells[i-1].Seq >= rs.Cells[i].Seq {
+				t.Fatalf("RunSeqs results not in ascending seq order: %d then %d",
+					rs.Cells[i-1].Seq, rs.Cells[i].Seq)
+			}
+		}
+		sets = append(sets, rs)
+	}
+	merged := mustMerge(t, sets...)
+	var got bytes.Buffer
+	if err := merged.EncodeJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != refJSON.String() {
+		t.Fatal("merged RunSeqs partitions differ from unsharded Run")
+	}
+}
+
+func TestRunSeqsUnknownSeq(t *testing.T) {
+	exps := toyExperiments()
+	total := len(Enumerate(exps, true))
+	if _, err := RunSeqs(exps, Config{Quick: true}, []int{0, total}); err == nil {
+		t.Fatal("RunSeqs accepted an out-of-range seq")
+	}
+}
+
+// TestCellJSONRoundTrip: CellJSON renders exactly the per-cell line
+// EncodeJSON embeds, and DecodeCellJSON+CellJSON is a byte-exact round
+// trip — the property that lets the job store journal cells verbatim and
+// replay them into output identical to an uninterrupted run.
+func TestCellJSONRoundTrip(t *testing.T) {
+	exps := toyExperiments()
+	rs, err := Run(exps, Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var whole bytes.Buffer
+	if err := rs.EncodeJSON(&whole); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rs.Cells {
+		line := CellJSON(c)
+		if !strings.Contains(whole.String(), "\n    "+string(line)) {
+			t.Fatalf("CellJSON of seq %d not embedded verbatim in EncodeJSON output:\n%s",
+				c.Seq, line)
+		}
+		back, err := DecodeCellJSON(line)
+		if err != nil {
+			t.Fatalf("seq %d: %v", c.Seq, err)
+		}
+		if again := CellJSON(back); !bytes.Equal(again, line) {
+			t.Fatalf("seq %d round trip differs:\n in: %s\nout: %s", c.Seq, line, again)
+		}
+	}
+	if _, err := DecodeCellJSON([]byte(`{"seq": 0, "records": []} trailing`)); err == nil {
+		t.Fatal("DecodeCellJSON accepted trailing content")
+	}
+}
