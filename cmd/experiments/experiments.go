@@ -14,6 +14,7 @@ import (
 	"gncg/internal/opt"
 	"gncg/internal/poa"
 	"gncg/internal/report"
+	"gncg/internal/rules"
 	"gncg/internal/spanner"
 	"gncg/internal/stats"
 	"gncg/internal/sweep"
@@ -54,6 +55,7 @@ func registerAll() {
 	registerScaleGreedy()
 	registerEquilibrium()
 	registerCycleCensus()
+	registerModelCompare()
 }
 
 func seeds(full, quick int, isQuick bool) []int64 {
@@ -1268,8 +1270,12 @@ func registerCycleCensus() {
 			// The full census brackets the α ≈ n transition densely
 			// (0.5–1.5 in quarter steps is where path starts flip between
 			// converging and cycling) and crosses the host p-norm, since
-			// Conjecture 1 claims no FIP for ANY p ∈ [1, ∞]. Quick keeps
-			// the original p=2, scale∈{1,2} slice so its cost is unchanged.
+			// Conjecture 1 claims no FIP for ANY p ∈ [1, ∞]. The full
+			// grid also crosses the point-cloud seed — the ROADMAP's
+			// remaining ensemble dimension — so "this point cloud
+			// cycles" separates from "ℓp clouds cycle". Quick keeps the
+			// original seed-13, p=2, scale∈{1,2} slice so its cost (and
+			// byte encoding) is unchanged.
 			ns := sweep.Ints("n", 40, 60, 80, 100, 150)
 			scales := sweep.Floats("alpha_scale", 0.5, 0.75, 1, 1.25, 1.5, 2, 4, 8)
 			norms := sweep.Floats("p", 1, 2, math.Inf(1))
@@ -1278,17 +1284,26 @@ func registerCycleCensus() {
 				scales = sweep.Floats("alpha_scale", 1, 2)
 				norms = sweep.Floats("p", 2)
 			}
-			return sweep.Space{Axes: []sweep.Axis{
-				ns, scales, norms,
+			axes := []sweep.Axis{ns, scales, norms}
+			if !quick {
+				axes = append(axes, sweep.Int64s("host_seed", 13, 101, 977))
+			}
+			axes = append(axes,
 				sweep.Strings("sched", "rr", "random"),
-				sweep.Strings("start", "path", "star"),
-			}}
+				sweep.Strings("start", "path", "star"))
+			return sweep.Space{Axes: axes}
 		},
 		Schema: []string{"alpha", "outcome", "rounds", "moves", "cycle_start", "cycle_len", "verified"},
 		Run: func(p sweep.Params) []sweep.Record {
 			n := p.Int("n")
 			alpha := p.Float("alpha_scale") * float64(n)
-			g := game.New(game.NewHost(gen.Points(13, n, 2, 1000, p.Float("p"))), alpha)
+			// The quick slice has no host_seed axis and stays on the
+			// historical seed-13 cloud.
+			hostSeed := int64(13)
+			if p.Has("host_seed") {
+				hostSeed = p.Int64("host_seed")
+			}
+			g := game.New(game.NewHost(gen.Points(hostSeed, n, 2, 1000, p.Float("p"))), alpha)
 			var start game.Profile
 			switch p.Str("start") {
 			case "path":
@@ -1324,6 +1339,120 @@ func registerCycleCensus() {
 				"rounds", res.Rounds, "moves", res.Moves,
 				"cycle_start", cycleStart, "cycle_len", cycleLen,
 				"verified", verified)}
+		},
+	})
+}
+
+// registerModelCompare is the rules layer's showcase: the same engine —
+// hosts, greedy dynamics, certified parallel verification, OPT lower
+// bounds — swept across an axis of *cost models* instead of mere
+// parameters. Each cell resolves its model through the rules registry,
+// plays greedy round-robin dynamics from a common start, and certifies
+// the reached state with the gain-bound verifier at two worker counts,
+// recording whether the verdicts agree (they must: verification is
+// worker-invariant under every model, which the -race tests in
+// internal/rules also pin). The alpha parameter is derived per model
+// from the host's own weight scale so all three models play a
+// comparable regime: price 1 per unit weight (sum), a flat price of one
+// mean edge weight (unit), a budget of three mean edge weights
+// (budget).
+func registerModelCompare() {
+	sweep.Register(sweep.Experiment{
+		Name: "model_compare", Title: "Rules axis: greedy dynamics and certified verification across cost models",
+		Note: "model=sum is the paper's GNCG; unit prices every edge a flat alpha " +
+			"(Fabrikant et al.); budget makes edges free under a per-agent spend cap " +
+			"(bounded-budget NCG) — its star start is deliberately over budget, so the " +
+			"feasible column shows whether repair moves were taken (deletions never " +
+			"improve a distance-only cost, so greedy dynamics keep the inherited star: " +
+			"feasibility is a start-state property there, not a convergence failure). " +
+			"exact_nash_tier records the model gate: budget deviations are not per-edge " +
+			"separable, so the UMFL exact-Nash tier rejects them (greedy certification " +
+			"still applies).",
+		Tags: []string{"dynamics", "rules", "model"},
+		Space: func(quick bool) sweep.Space {
+			ns := sweep.Ints("n", 30, 60)
+			starts := sweep.Strings("start", "star", "path")
+			if quick {
+				ns = sweep.Ints("n", 30)
+				starts = sweep.Strings("start", "star")
+			}
+			return sweep.Space{Axes: []sweep.Axis{
+				sweep.Strings("model", "sum", "budget", "unit"),
+				sweep.Strings("host", "l2", "tree", "onetwo"),
+				ns, starts,
+			}}
+		},
+		Schema: []string{"alpha", "outcome", "rounds", "moves", "social_cost",
+			"opt_lb", "poa_vs_lb", "feasible", "greedy_stable", "cert_skipped",
+			"workers_invariant", "exact_nash_tier"},
+		Run: func(p sweep.Params) []sweep.Record {
+			n := p.Int("n")
+			var h *game.Host
+			switch p.Str("host") {
+			case "l2":
+				h = game.NewHost(gen.Points(13, n, 2, 1000, 2))
+			case "tree":
+				h = game.NewHost(gen.Tree(13, n, 1, 6))
+			case "onetwo":
+				h = game.NewHost(gen.OneTwo(13, n, 0.3))
+			default:
+				panic(fmt.Sprintf("unknown model_compare host class %q", p.Str("host")))
+			}
+			model := rules.MustByName(p.Str("model"))
+			// Mean weight out of node 0, folded in index order: the
+			// deterministic scale anchor for the per-model alpha.
+			meanW := 0.0
+			for v := 1; v < n; v++ {
+				meanW += h.Weight(0, v)
+			}
+			meanW /= float64(n - 1)
+			var alpha float64
+			switch p.Str("model") {
+			case "sum":
+				alpha = 1
+			case "unit":
+				alpha = meanW
+			case "budget":
+				alpha = 3 * meanW
+			default:
+				panic(fmt.Sprintf("unknown model_compare model %q", p.Str("model")))
+			}
+			g := game.NewWithRules(h, alpha, model)
+			// Both starts are connected: from a sufficiently disconnected
+			// profile no single-edge move yields finite cost under any
+			// model, so greedy dynamics would trivially freeze at +Inf.
+			start := game.StarProfile(n, 0)
+			if p.Str("start") == "path" {
+				order := make([]int, n)
+				for i := range order {
+					order[i] = i
+				}
+				start = game.PathProfile(n, order)
+			}
+			s := game.NewState(g, start)
+			budget := dynamics.Budget{MaxRounds: 64, MaxMoves: 40 * n}
+			res := dynamics.RunToConvergence(s, dynamics.GreedyMover, dynamics.RoundRobin{}, budget)
+			lb := opt.LowerBound(g)
+			v1 := game.VerifyGreedyEquilibrium(s, game.VerifyOptions{Workers: 1})
+			v3 := game.VerifyGreedyEquilibrium(s, game.VerifyOptions{Workers: 3})
+			invariant := v1.Stable == v3.Stable && v1.FirstImproving == v3.FirstImproving &&
+				v1.CertSkipped == v3.CertSkipped && v1.Scanned == v3.Scanned
+			exactTier := "umfl"
+			if !model.ExactNashViaUMFL() {
+				exactTier = "rejected"
+			}
+			return []sweep.Record{sweep.R(
+				"model", p.Str("model"), "host", p.Str("host"), "n", n,
+				"start", p.Str("start"), "alpha", alpha,
+				"outcome", res.Outcome.String(),
+				"rounds", res.Rounds, "moves", res.Moves,
+				"social_cost", res.SocialCost, "opt_lb", lb,
+				"poa_vs_lb", res.PoA(lb),
+				"feasible", report.Check(s.FeasibleProfile()),
+				"greedy_stable", report.Check(v1.Stable),
+				"cert_skipped", v1.CertSkipped,
+				"workers_invariant", report.Check(invariant),
+				"exact_nash_tier", exactTier)}
 		},
 	})
 }

@@ -50,7 +50,7 @@ func TestRegistryComplete(t *testing.T) {
 		"thm10", "thm11", "thm12", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "thm18", "fig10", "thm20", "conj1", "ncg", "oneinf",
 		"empirical", "pos", "table1", "scale", "scale_greedy", "equilibrium",
-		"cycle_census",
+		"cycle_census", "model_compare",
 	}
 	if got := len(sweep.All()); got != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", got, len(want))
@@ -350,5 +350,69 @@ func TestExperimentRecordsSane(t *testing.T) {
 				t.Fatalf("cell alpha=%v: %s = %v, want PASS", c.Cell.Float("alpha"), key, v)
 			}
 		}
+	}
+}
+
+// TestGoldenQuickSweep pins the quick sweep's entire JSON output to a
+// checked-in golden file, cell by cell. The golden's cells for the
+// pre-rules-layer experiments are byte-identical to the output of the
+// binary built before game.Rules existed (verified offline when the
+// golden was minted), so this test is the executable statement of the
+// refactor's core contract: the default "sum" rules perform the exact
+// same float operations in the exact same order as the old hardwired
+// cost code, for every registered experiment. model_compare's cells
+// ride in the same golden, pinning the non-default models too.
+//
+// If a deliberate experiment change breaks this test, regenerate with
+//
+//	go run ./cmd/experiments -quick -tables=false -out cmd/experiments/testdata/golden_quick.json
+//
+// and say so in the commit message — an unexplained diff here is a cost
+// regression, not a golden refresh.
+func TestGoldenQuickSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick sweep is too slow for -short")
+	}
+	ensureRegistered()
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden_quick.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sweep.DecodeJSON(bytes.NewReader(golden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sweep.Run(sweep.All(), sweep.Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != len(want.Cells) {
+		t.Fatalf("quick sweep produced %d cells, golden has %d", len(got.Cells), len(want.Cells))
+	}
+	mismatches := 0
+	for i := range want.Cells {
+		w, g := sweep.CellJSON(want.Cells[i]), sweep.CellJSON(got.Cells[i])
+		if !bytes.Equal(w, g) {
+			mismatches++
+			if mismatches <= 5 {
+				t.Errorf("cell %d (%s) drifted from golden:\n  want %s\n  got  %s",
+					want.Cells[i].Seq, want.Cells[i].Experiment, w, g)
+			}
+		}
+	}
+	if mismatches > 5 {
+		t.Errorf("... and %d more drifted cells", mismatches-5)
+	}
+	// The whole encoded stream must match too: cell-by-cell identity
+	// plus byte-identical framing is what the sharding gate relies on.
+	var buf bytes.Buffer
+	if err := got.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) && mismatches == 0 {
+		t.Error("cells match but encoded stream differs from golden (framing drift)")
 	}
 }

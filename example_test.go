@@ -79,3 +79,40 @@ func ExampleVerifyGreedyEquilibrium() {
 	// checked: true
 	// worker-invariant: true
 }
+
+// ExampleNewGameWithRules sweeps the model axis of the rules layer: the
+// same host played under every registered cost model — "sum" (the
+// paper's per-unit-weight price, the default), "budget" (edges free
+// under a per-agent spend cap) and "unit" (flat price per edge) — with
+// greedy dynamics to convergence and the certified verifier on the
+// result. Alpha keeps its model-specific meaning, so each model gets a
+// comparable regime derived from the host's weight scale.
+func ExampleNewGameWithRules() {
+	host, err := gncg.HostFromPoints([][]float64{
+		{0, 0}, {4, 0}, {4, 3}, {0, 3}, {2, 5}, {6, 1},
+	}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range gncg.RuleSetNames() {
+		r, err := gncg.RulesByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alpha := 2.0
+		if name == "budget" {
+			alpha = 9 // budget on purchased host weight, not a price
+		}
+		g := gncg.NewGameWithRules(host, alpha, r)
+		s := gncg.NewState(g, gncg.StarProfile(g.N(), 0))
+		res := gncg.RunGreedyDynamicsToConvergence(s,
+			gncg.ConvergenceBudget{MaxRounds: 32, MaxMoves: 500})
+		v := gncg.VerifyGreedyEquilibrium(s, gncg.VerifyOptions{Workers: 2})
+		fmt.Printf("%-6s outcome=%s moves=%d stable=%v\n",
+			name, res.Outcome, res.Moves, v.Stable)
+	}
+	// Output:
+	// budget outcome=converged moves=10 stable=true
+	// sum    outcome=converged moves=8 stable=true
+	// unit   outcome=converged moves=8 stable=true
+}

@@ -39,6 +39,7 @@ import (
 	"gncg/internal/game"
 	"gncg/internal/graph"
 	"gncg/internal/metric"
+	"gncg/internal/rules"
 )
 
 // Core model types, re-exported from the internal engine.
@@ -62,6 +63,10 @@ type (
 	Edge = graph.Edge
 	// ModelClass locates a host in the paper's model hierarchy (Fig. 1).
 	ModelClass = metric.Class
+	// Rules is a pluggable cost model: the edge-cost, distance-cost and
+	// feasibility hooks that turn the one engine into the whole NCG
+	// family. Games default to the paper's sum-distance model.
+	Rules = game.Rules
 )
 
 // Move kinds.
@@ -80,8 +85,28 @@ const (
 	ClassNCG    = metric.ClassUnit
 )
 
-// NewGame returns the GNCG on host h with edge-price parameter alpha > 0.
+// NewGame returns the GNCG on host h with edge-price parameter alpha > 0,
+// under the paper's sum-distance cost model.
 func NewGame(h *Host, alpha float64) *Game { return game.New(h, alpha) }
+
+// NewGameWithRules returns a game on host h under an explicit cost model
+// (see RulesByName; nil means the default sum-distance model). The alpha
+// parameter keeps its model-specific meaning: per-unit-weight edge price
+// under "sum", flat per-edge price under "unit", per-agent budget under
+// "budget".
+func NewGameWithRules(h *Host, alpha float64, r Rules) *Game {
+	return game.NewWithRules(h, alpha, r)
+}
+
+// RulesByName resolves a registered cost-model name — "sum" (the paper's
+// model, the default), "budget" (bounded-budget NCG: alpha is a
+// per-agent budget on purchased host weight, edges are otherwise free),
+// "unit" (flat price alpha per edge, the classic Fabrikant model) — to
+// its Rules value.
+func RulesByName(name string) (Rules, error) { return rules.ByName(name) }
+
+// RuleSetNames lists the registered cost-model names in sorted order.
+func RuleSetNames() []string { return rules.Names() }
 
 // NewState binds a profile to a game and materializes its network.
 func NewState(g *Game, p Profile) *State { return game.NewState(g, p) }

@@ -46,7 +46,19 @@ type Mapping struct {
 // element of the returned node list; clients are the subset of nodes u
 // has positive demand towards (all of them under the paper's uniform
 // model), in node order.
+//
+// The reduction is exact only for cost models whose edge cost is
+// separable per acquired edge and whose strategies are unconstrained —
+// the facility opening cost is the model's AcquirePrice, charged
+// independently per opened facility. Models that declare
+// ExactNashViaUMFL false (the budget model: its cap couples the open
+// set) are rejected with a panic rather than silently solving the
+// wrong instance.
 func BuildInstance(s *game.State, u int) (*facility.Instance, Mapping) {
+	if r := s.G.Rules(); !r.ExactNashViaUMFL() {
+		panic("bestresponse: cost model " + r.Name() +
+			" does not admit the UMFL best-response reduction; use BruteForce (small n) or the greedy tier")
+	}
 	n := s.G.N()
 	nodes := make([]int, 0, n-1)
 	for v := 0; v < n; v++ {
@@ -65,12 +77,13 @@ func BuildInstance(s *game.State, u int) (*facility.Instance, Mapping) {
 	locked := make([]bool, nf)
 	conn := make([][]float64, nf)
 	alpha := s.G.Alpha
+	rules := s.G.Rules()
 	for i, v := range nodes {
 		if s.P.Buys(v, u) {
 			locked[i] = true
 			openCost[i] = 0
 		} else {
-			openCost[i] = alpha * s.G.Host.Weight(u, v)
+			openCost[i] = rules.AcquirePrice(alpha, s.G.Host.Weight(u, v))
 		}
 	}
 	// Clients are the positive-demand nodes only: a zero-demand node
@@ -153,9 +166,11 @@ func pruneLocked(s *game.State, u int, strat bitset.Set) {
 }
 
 // BruteForce computes the exact best response by enumerating all 2^(n-1)
-// strategies and evaluating each on the real network. Exponentially slow;
-// it exists as an independent oracle to validate the UMFL mapping in
-// tests and as a baseline in benchmarks.
+// strategies and evaluating each on the real network, skipping
+// strategies the cost model rules infeasible. Exponentially slow; it
+// exists as an independent oracle to validate the UMFL mapping in
+// tests, as a baseline in benchmarks, and as the only exact
+// best-response path for models without the UMFL reduction (budget).
 func BruteForce(s *game.State, u int) Result {
 	n := s.G.N()
 	others := make([]int, 0, n-1)
@@ -167,6 +182,7 @@ func BruteForce(s *game.State, u int) Result {
 	if len(others) > 25 {
 		panic("bestresponse: brute force beyond 2^25 strategies")
 	}
+	rules := s.G.Rules()
 	work := s.Clone()
 	best := Result{Agent: u, Cost: math.Inf(1)}
 	for mask := 0; mask < 1<<len(others); mask++ {
@@ -175,6 +191,9 @@ func BruteForce(s *game.State, u int) Result {
 			if mask&(1<<i) != 0 {
 				strat.Add(v)
 			}
+		}
+		if !rules.Feasible(s.G, u, strat) {
+			continue
 		}
 		work.SetStrategy(u, strat)
 		if c := work.Cost(u); c < best.Cost {

@@ -12,6 +12,17 @@
 // next edge's bound was computed from). Every agent therefore pays for
 // a real best-response computation at this tier — which is why it is
 // reserved for small n (poa.VerifyLowerBound's exactNashLimit).
+//
+// The tier is additionally model-gated: its best responses come from
+// the UMFL reduction, which prices each acquired edge independently.
+// Cost models whose multi-edge deviations are NOT a sum of per-edge
+// terms — the budget model, where the cap couples the purchased set —
+// would make this tier unsound (UMFL could open a facility set no
+// feasible strategy matches, or miss the binding constraint entirely),
+// so VerifyNashWorkers rejects models that declare ExactNashViaUMFL
+// false instead of silently assuming sum-distance pricing. Callers
+// needing an exact Nash check under such models must enumerate:
+// BruteForce per agent at small n is the only sound path.
 package bestresponse
 
 import (
@@ -35,7 +46,17 @@ type NashReport struct {
 // agent's exact best response is computed regardless of other agents'
 // outcomes — no early cancel — and verdicts fold in fixed agent order,
 // so the report is identical under any worker count.
+//
+// The check is only sound for cost models whose best responses the
+// UMFL reduction computes exactly (Rules.ExactNashViaUMFL); other
+// models are rejected with a panic — see the package comment on why
+// multi-edge deviations break per-edge pricing — rather than returning
+// a verdict the model's deviations could contradict.
 func VerifyNashWorkers(s *game.State, workers int) NashReport {
+	if r := s.G.Rules(); !r.ExactNashViaUMFL() {
+		panic("bestresponse: exact-Nash verification is unsound under cost model " + r.Name() +
+			": multi-edge deviations are not per-edge separable, so the UMFL tier cannot bound them")
+	}
 	n := s.G.N()
 	if workers <= 0 {
 		workers = parallel.Workers()

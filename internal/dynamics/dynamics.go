@@ -8,6 +8,15 @@
 // exponential worst case), greedy single-edge responses (polynomial, the
 // GE notion), and add-only responses (polynomial; these always converge
 // because strategies only grow, yielding the AE networks of Thm 2).
+//
+// The simulation layer is cost-model-blind: movers see only costs and
+// moves, both of which the state's game.Rules already shapes, so
+// GreedyMover and AddOnlyMover run unchanged under every model
+// (single-edge scans respect the model's feasibility predicate inside
+// BestSingleMove/BestBuy). The two best-response movers go through the
+// UMFL reduction and therefore carry its model gate: BestResponseMover
+// and ApproxBRMover panic under models whose Rules.ExactNashViaUMFL is
+// false (budget) — schedule GreedyMover for those.
 package dynamics
 
 import (

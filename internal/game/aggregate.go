@@ -38,13 +38,15 @@ const aggBlock = 64
 type rowAgg struct {
 	blocks []float64 // fixed-shape per-block partial sums
 	total  float64   // left-to-right fold of blocks
-	epoch  uint64    // traffic epoch the terms were computed under
+	epoch  uint64    // cost epoch (traffic + rules) the terms were computed under
 	valid  bool
 }
 
-// distTerm is the contribution of pair (u,v) at distance d: t(u,v)·d,
-// with zero-demand pairs (and the diagonal) contributing an exact 0 even
-// at d = +Inf.
+// distTerm is the contribution of pair (u,v) at distance d: the cost
+// model's DistTerm(t(u,v), d), with zero-demand pairs (and the
+// diagonal) contributing an exact 0 even at d = +Inf — the guards run
+// here so Rules implementations never see the 0·Inf case. Under the
+// default SumRules this is exactly t·d.
 func (s *State) distTerm(u, v int, d float64) float64 {
 	if v == u {
 		return 0
@@ -53,7 +55,7 @@ func (s *State) distTerm(u, v int, d float64) float64 {
 	if t == 0 {
 		return 0
 	}
-	return t * d
+	return s.G.Rules().DistTerm(t, d)
 }
 
 // foldBlock folds the terms of row[lo:hi] in index order.
@@ -89,7 +91,7 @@ func foldBlocks(blocks []float64) float64 {
 // buildRowAgg computes row u's aggregate from scratch.
 func buildRowAgg(s *State, u int, row []float64) rowAgg {
 	nb := (len(row) + aggBlock - 1) / aggBlock
-	a := rowAgg{blocks: make([]float64, nb), epoch: s.G.trafficEpoch, valid: true}
+	a := rowAgg{blocks: make([]float64, nb), epoch: s.G.costEpoch, valid: true}
 	for b := 0; b < nb; b++ {
 		lo := b * aggBlock
 		a.blocks[b] = s.foldBlock(u, row, lo, min(lo+aggBlock, len(row)))
@@ -115,11 +117,11 @@ func (c *distCache) beginAggMark() func(x int) {
 
 // finishAggUpdate refreshes row i's aggregate after a successful repair:
 // dirty blocks recompute from the repaired row and the block sums refold.
-// An aggregate from a stale traffic epoch (or a missing one) rebuilds
+// An aggregate from a stale cost epoch (or a missing one) rebuilds
 // wholesale instead. Caller holds c.mu.
 func (c *distCache) finishAggUpdate(s *State, i int, row []float64) {
 	a := &c.agg[i]
-	if !a.valid || a.epoch != s.G.trafficEpoch || len(a.blocks) != (len(row)+aggBlock-1)/aggBlock {
+	if !a.valid || a.epoch != s.G.costEpoch || len(a.blocks) != (len(row)+aggBlock-1)/aggBlock {
 		*a = buildRowAgg(s, i, row)
 	} else {
 		for _, b := range c.aggDirty {
@@ -139,8 +141,8 @@ func (c *distCache) clearAggScratch() {
 }
 
 // aggTotal returns the maintained Σ t(u,·)·d(u,·) when row u is cached
-// and current, rebuilding the aggregate first if the traffic matrix
-// changed since it was computed. countHit guards the stats counter:
+// and current, rebuilding the aggregate first if the traffic matrix or
+// the cost model changed since it was computed. countHit guards the stats counter:
 // DistCost probes the aggregate again after a row fill, and that second
 // probe answers from work the fill already counted.
 func (c *distCache) aggTotal(s *State, u int, countHit bool) (float64, bool) {
@@ -150,7 +152,7 @@ func (c *distCache) aggTotal(s *State, u int, countHit bool) (float64, bool) {
 		return 0, false
 	}
 	a := &c.agg[u]
-	if !a.valid || a.epoch != s.G.trafficEpoch {
+	if !a.valid || a.epoch != s.G.costEpoch {
 		*a = buildRowAgg(s, u, c.rows[u])
 	}
 	if countHit {

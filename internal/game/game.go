@@ -155,11 +155,15 @@ type Game struct {
 	Eps   float64
 
 	// traffic holds optional per-pair demand weights (nil = uniform);
-	// see traffic.go. trafficEpoch counts SetTraffic calls so cached
-	// distance-sum aggregates (aggregate.go) detect demand changes and
-	// rebuild instead of serving sums for the old demands.
-	traffic      [][]float64
-	trafficEpoch uint64
+	// see traffic.go. costEpoch counts SetTraffic and SetRules calls so
+	// cached distance-sum aggregates (aggregate.go) detect changes to
+	// the per-pair cost terms and rebuild instead of serving stale sums.
+	traffic   [][]float64
+	costEpoch uint64
+
+	// rules is the pluggable cost model (rules.go); nil means the
+	// paper's SumRules. Read through Rules(), set through SetRules.
+	rules Rules
 }
 
 // New returns a game on host h with parameter alpha and the default

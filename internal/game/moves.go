@@ -109,24 +109,32 @@ func (s *State) CostAfter(m Move) float64 {
 
 // CandidateMoves enumerates every legal single-edge move for agent u in
 // the current state: all buys of non-owned nodes, all deletions of owned
-// edges, and all swaps of an owned edge for a non-owned node.
+// edges, and all swaps of an owned edge for a non-owned node — filtered
+// through the cost model's feasibility predicate (a no-op under the
+// unconstrained default SumRules).
 func (s *State) CandidateMoves(u int) []Move {
 	n := s.G.N()
 	owned := s.P.S[u]
+	r := s.G.Rules()
 	var moves []Move
+	add := func(m Move) {
+		if r.MoveFeasible(s, m) {
+			moves = append(moves, m)
+		}
+	}
 	for v := 0; v < n; v++ {
 		if v == u || owned.Has(v) {
 			continue
 		}
-		moves = append(moves, Move{Agent: u, Kind: Buy, V: v})
+		add(Move{Agent: u, Kind: Buy, V: v})
 	}
 	owned.ForEach(func(v int) {
-		moves = append(moves, Move{Agent: u, Kind: Delete, V: v})
+		add(Move{Agent: u, Kind: Delete, V: v})
 		for x := 0; x < n; x++ {
 			if x == u || x == v || owned.Has(x) {
 				continue
 			}
-			moves = append(moves, Move{Agent: u, Kind: Swap, V: v, X: x})
+			add(Move{Agent: u, Kind: Swap, V: v, X: x})
 		}
 	})
 	return moves
@@ -167,7 +175,11 @@ func (s *State) bestSingleMove(u int, prune bool) (best Move, cost float64, ok b
 	}
 	n := s.G.N()
 	owned := s.P.S[u]
+	r := s.G.Rules()
 	consider := func(m Move) {
+		if !r.MoveFeasible(s, m) {
+			return
+		}
 		if c := s.CostAfter(m); c < cost {
 			cost = c
 			best = m
@@ -205,7 +217,7 @@ func (s *State) bestSingleMove(u int, prune bool) (best Move, cost float64, ok b
 		consider(Move{Agent: u, Kind: Delete, V: v})
 		var refund float64
 		if pb != nil {
-			refund = s.G.Alpha * s.hostWeight(u, v)
+			refund = pb.rules.AcquirePrice(pb.alpha, s.hostWeight(u, v))
 		}
 		for x := 0; x < n; x++ {
 			if x == u || x == v || owned.Has(x) {
@@ -247,8 +259,11 @@ func (s *State) bestSingleMove(u int, prune bool) (best Move, cost float64, ok b
 // pruned candidate can never be one the oracle would have accepted.
 //
 // The bounds need a finite current cost (an agent that cannot reach a
-// positive-demand node gains unboundedly from reconnection); newMoveBounds
-// returns nil in that case and the scan falls back to the oracle.
+// positive-demand node gains unboundedly from reconnection) and a cost
+// model whose DistTerm is linear in d (Rules.GainBoundsSound);
+// newMoveBounds returns nil otherwise and the scan falls back to the
+// oracle. Edge prices and refunds go through Rules.AcquirePrice, so the
+// bounds stay sound under any model that declares them applicable.
 type moveBounds struct {
 	duv   []float64 // private copy of u's distance row (repair-safe)
 	ds    []float64 // positive-traffic distances, ascending
@@ -258,10 +273,15 @@ type moveBounds struct {
 	alpha float64
 	eps   float64
 	slack float64
+	rules Rules
 }
 
 func (s *State) newMoveBounds(u int, cur float64) *moveBounds {
 	if math.IsInf(cur, 1) {
+		return nil
+	}
+	r := s.G.Rules()
+	if !r.GainBoundsSound() {
 		return nil
 	}
 	row := s.Dist(u)
@@ -270,6 +290,7 @@ func (s *State) newMoveBounds(u int, cur float64) *moveBounds {
 		alpha: s.G.Alpha,
 		eps:   s.G.Eps,
 		slack: 1e-11 * (1 + math.Abs(cur)),
+		rules: r,
 	}
 	type dt struct{ d, t float64 }
 	pairs := make([]dt, 0, len(row))
@@ -303,10 +324,10 @@ func (pb *moveBounds) gainUB(w float64) float64 {
 }
 
 // skipAcquire reports whether acquiring a host edge of weight w towards a
-// node at network distance duy — with refund α·w(u,V) when the move also
-// deletes owned edge (u,V), 0 for a plain buy — provably cannot beat the
-// running best improvement (or the strict-improvement tolerance, whichever
-// is larger).
+// node at network distance duy — with refund AcquirePrice(α, w(u,V)) when
+// the move also deletes owned edge (u,V), 0 for a plain buy — provably
+// cannot beat the running best improvement (or the strict-improvement
+// tolerance, whichever is larger).
 func (pb *moveBounds) skipAcquire(w, duy, refund, bestGain float64) bool {
 	if math.IsInf(w, 1) {
 		return true // unbuyable pair: the move's edge cost alone is +Inf
@@ -315,7 +336,7 @@ func (pb *moveBounds) skipAcquire(w, duy, refund, bestGain float64) bool {
 	if pb.eps > threshold {
 		threshold = pb.eps
 	}
-	threshold += pb.alpha*w - refund - pb.slack
+	threshold += pb.rules.AcquirePrice(pb.alpha, w) - refund - pb.slack
 	// O(1) triangle bound first; the sorted-row bound only when it fails.
 	var pair float64
 	if pb.tpos > 0 && duy > w {
@@ -328,16 +349,20 @@ func (pb *moveBounds) skipAcquire(w, duy, refund, bestGain float64) bool {
 }
 
 // BestBuy returns agent u's best single Buy move, mirroring the add-only
-// equilibrium notion.
+// equilibrium notion. Buys the cost model rules infeasible are skipped.
 func (s *State) BestBuy(u int) (best Move, cost float64, ok bool) {
 	cur := s.Cost(u)
 	cost = cur
 	n := s.G.N()
+	r := s.G.Rules()
 	for v := 0; v < n; v++ {
 		if v == u || s.P.S[u].Has(v) {
 			continue
 		}
 		m := Move{Agent: u, Kind: Buy, V: v}
+		if !r.MoveFeasible(s, m) {
+			continue
+		}
 		if c := s.CostAfter(m); c < cost {
 			cost = c
 			best = m

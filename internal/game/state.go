@@ -130,11 +130,10 @@ func (s *State) SetStrategy(u int, strat bitset.Set) {
 	}
 }
 
-// EdgeCost returns α·w(u,S_u): what agent u pays for its purchases.
+// EdgeCost returns what agent u pays for its purchases under the game's
+// cost model: α·w(u,S_u) in the paper's default SumRules.
 func (s *State) EdgeCost(u int) float64 {
-	total := 0.0
-	s.P.S[u].ForEach(func(v int) { total += s.hostWeight(u, v) })
-	return s.G.Alpha * total
+	return s.G.Rules().StrategyCost(s, u)
 }
 
 // DistCost returns Σ_v t(u,v)·d_{G(s)}(u,v), where t is the game's
@@ -187,15 +186,18 @@ func (s *State) Connected() bool { return s.net.Connected() }
 
 // SocialCostOfEdgeSet evaluates the social cost of an arbitrary edge set
 // on game g assuming single ownership per edge (the relevant case for
-// social optimum candidates): α·Σw(e) + Σ_ordered pairs d(u,v).
+// social optimum candidates): each edge contributes the model's marginal
+// price — α·w under the default SumRules, giving α·Σw(e) — plus
+// Σ_ordered pairs d(u,v).
 func SocialCostOfEdgeSet(g *Game, edges []graph.Edge) float64 {
 	net := graph.New(g.N())
+	r := g.Rules()
 	total := 0.0
 	for _, e := range edges {
 		w := g.Host.Weight(e.U, e.V)
 		if !net.HasEdge(e.U, e.V) {
 			net.AddEdge(e.U, e.V, w)
-			total += g.Alpha * w
+			total += r.AcquirePrice(g.Alpha, w)
 		}
 	}
 	return total + net.SumDistances()

@@ -40,14 +40,14 @@ func validateTraffic(n int, t [][]float64) error {
 func (g *Game) SetTraffic(t [][]float64) error {
 	if t == nil {
 		g.traffic = nil
-		g.trafficEpoch++
+		g.costEpoch++
 		return nil
 	}
 	if err := validateTraffic(g.N(), t); err != nil {
 		return err
 	}
 	g.traffic = t
-	g.trafficEpoch++
+	g.costEpoch++
 	return nil
 }
 

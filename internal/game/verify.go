@@ -25,20 +25,22 @@ import (
 // traffic-weighted distance gain of acquiring (u,x) is bounded above by
 // both T·max(0, d(u,x) − w) and Σ_y t(u,y)·max(0, d(u,y) − w) (see
 // moveBounds); AcquireBound is the maximum over candidates of the
-// smaller bound minus the α·w price. A swap additionally refunds the
-// deleted edge's price (its deletion only increases distances, so it
-// cannot enlarge the gain); MaxRefund is the largest refund available,
-// α·max_{v∈S_u} w(u,v). Slack is the float-noise margin inherited from
-// the pruned scan, sized to the agent's current cost, so a certificate
-// can never rule out a move the exact oracle would accept.
+// smaller bound minus the model's AcquirePrice(α, w) — α·w under the
+// default SumRules. A swap additionally refunds the deleted edge's
+// price (its deletion only increases distances, so it cannot enlarge
+// the gain); MaxRefund is the largest refund available, the price of
+// the heaviest edge u owns. Slack is the float-noise margin inherited
+// from the pruned scan, sized to the agent's current cost, so a
+// certificate can never rule out a move the exact oracle would accept.
 type GainCertificate struct {
 	Agent int
 	// AcquireBound bounds, over every buyable non-owned candidate x,
 	// the distance gain minus edge price of acquiring (u,x). -Inf when
 	// no candidate is buyable.
 	AcquireBound float64
-	// MaxRefund is the largest swap refund: α times the heaviest edge u
-	// owns (0 when u owns nothing, so swaps are impossible anyway).
+	// MaxRefund is the largest swap refund: the model's price of the
+	// heaviest edge u owns (0 when u owns nothing, so swaps are
+	// impossible anyway).
 	MaxRefund float64
 	// Slack absorbs ulp-level divergence between the real-arithmetic
 	// bounds and float path sums.
@@ -58,10 +60,15 @@ func (c GainCertificate) RulesOutAcquisitions(eps float64) bool {
 
 // AcquireGainCertificate computes agent u's gain-bound certificate in
 // one O(n log n) pass (sorted-row prefix sums, then an O(log n) bound
-// per candidate). ok is false when u's current cost is infinite: an
-// agent that cannot reach a positive-demand node gains unboundedly from
-// reconnection, so no finite bound exists and callers must fall back to
-// a real scan.
+// per candidate). Prices and refunds go through the cost model's
+// AcquirePrice, so certificates stay sound under any Rules that
+// declares the gain bounds applicable. ok is false when u's current
+// cost is infinite (an agent that cannot reach a positive-demand node
+// gains unboundedly from reconnection, so no finite bound exists) or
+// when the model's GainBoundsSound is false; callers must then fall
+// back to a real scan. The bound ranges over every non-owned candidate
+// — a superset of the model-feasible ones — which can only loosen it,
+// never unsoundly tighten it.
 func (s *State) AcquireGainCertificate(u int) (cert GainCertificate, ok bool) {
 	cur := s.Cost(u)
 	pb := s.newMoveBounds(u, cur)
@@ -90,17 +97,25 @@ func (s *State) AcquireGainCertificate(u int) (cert GainCertificate, ok bool) {
 		if g := pb.gainUB(w); g < b {
 			b = g
 		}
-		if net := b - pb.alpha*w; net > cert.AcquireBound {
+		if net := b - pb.rules.AcquirePrice(pb.alpha, w); net > cert.AcquireBound {
 			cert.AcquireBound = net
 		}
 	}
-	maxW := 0.0
+	// AcquirePrice is monotone in w (interface contract), so the largest
+	// refund is the price of the heaviest owned edge; an agent that owns
+	// nothing can make no swap and refunds nothing.
+	maxW, ownsAny := 0.0, false
 	owned.ForEach(func(v int) {
+		ownsAny = true
 		if w := s.hostWeight(u, v); w > maxW {
 			maxW = w
 		}
 	})
-	cert.MaxRefund = pb.alpha * maxW
+	if ownsAny {
+		cert.MaxRefund = pb.rules.AcquirePrice(pb.alpha, maxW)
+	} else {
+		cert.MaxRefund = 0
+	}
 	return cert, true
 }
 
@@ -207,11 +222,17 @@ func verifyAgent(work *State, u int, opt VerifyOptions) (v agentVerdict) {
 		if cert, ok := work.AcquireGainCertificate(u); ok && cert.RulesOutAcquisitions(work.G.Eps) {
 			// Buys and swaps are ruled out; only the agent's own
 			// deletions remain, and there are at most |S_u| of them.
+			// Feasibility-gate them exactly as the full scan would.
+			r := work.G.Rules()
 			work.P.S[u].Clone().ForEach(func(x int) {
 				if v.improving {
 					return
 				}
-				after := work.CostAfter(Move{Agent: u, Kind: Delete, V: x})
+				m := Move{Agent: u, Kind: Delete, V: x}
+				if !r.MoveFeasible(work, m) {
+					return
+				}
+				after := work.CostAfter(m)
 				if work.G.Improves(after, cur) {
 					v.improving = true
 				}

@@ -95,6 +95,7 @@ func ExactSmall(g *game.Game) (Result, error) {
 		}
 	}
 	m := len(pairs)
+	rules := g.Rules()
 	// Split the 2^m masks across workers by the top bits.
 	const splitBits = 6
 	split := splitBits
@@ -128,7 +129,7 @@ func ExactSmall(g *game.Game) (Result, error) {
 					wt := g.Host.Weight(p.u, p.v)
 					w[p.u][p.v] = wt
 					w[p.v][p.u] = wt
-					edgeCost += g.Alpha * wt
+					edgeCost += rules.AcquirePrice(g.Alpha, wt)
 				}
 			}
 			if edgeCost >= best.Cost {
@@ -220,11 +221,12 @@ func CompleteCandidate(g *game.Game) Result {
 // would see no improvement from a single edge addition.
 func lexSocial(g *game.Game, edges []graph.Edge) (infPairs int, finite float64) {
 	net := graph.New(g.N())
+	r := g.Rules()
 	for _, e := range edges {
 		w := g.Host.Weight(e.U, e.V)
 		if !net.HasEdge(e.U, e.V) {
 			net.AddEdge(e.U, e.V, w)
-			finite += g.Alpha * w
+			finite += r.AcquirePrice(g.Alpha, w)
 		}
 	}
 	for _, row := range net.APSP() {
@@ -323,7 +325,12 @@ func LocalSearch(g *game.Game, start []graph.Edge, eps float64, maxIters int) Re
 // LowerBound returns a certified lower bound on the social optimum cost:
 // any connected spanning subgraph has edge weight at least MST(H), and
 // every pairwise distance is at least the host's shortest-path distance,
-// so cost(OPT) >= α·MST + Σ_{ordered pairs} d_H(u,v).
+// so cost(OPT) >= α·MST + Σ_{ordered pairs} d_H(u,v) under the paper's
+// model. The edge-side term goes through the cost model's
+// SpanningEdgeCostLB hook, so the bound stays certified per model:
+// α·MST for sum, α·(n−1) for unit (≥ n−1 edges at flat price), 0 for
+// budget (edges are free there, leaving the distance side as the whole
+// bound).
 //
 // Metric hosts — including every implicit geometric/tree/1-2 space,
 // answered in O(1) via the Classifier capability — compute matrix-free:
@@ -333,12 +340,13 @@ func LocalSearch(g *game.Game, start []graph.Edge, eps float64, maxIters int) Re
 // takes at n = 10⁴, where materializing the complete host graph (the
 // general fallback below) would cost gigabytes.
 func LowerBound(g *game.Game) float64 {
+	r := g.Rules()
 	if g.Host.IsMetric(1e-9) {
-		return g.Alpha*metricMSTWeight(g.Host) + hostDistanceSum(g.Host)
+		return r.SpanningEdgeCostLB(g.Alpha, metricMSTWeight(g.Host), g.N()) + hostDistanceSum(g.Host)
 	}
 	full := hostGraph(g)
 	_, mstW := full.MST()
-	return g.Alpha*mstW + full.SumDistances()
+	return r.SpanningEdgeCostLB(g.Alpha, mstW, g.N()) + full.SumDistances()
 }
 
 // metricMSTWeight computes the MST weight of the complete host by Prim's

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"gncg/internal/bitset"
 	"gncg/internal/game"
 	"gncg/internal/parallel"
 )
@@ -56,6 +57,14 @@ const maxCensusAgents = 5
 // NE iff no agent's digit can be replaced by a cheaper one — the full
 // strategy space is the deviation space, so this is exact), and returns
 // the instance's exact PoA and PoS.
+//
+// The census is enumeration-based, not reduction-based, so it is exact
+// under every cost model — including those the UMFL Nash tier rejects
+// (budget): the model's feasibility predicate restricts both the NE
+// candidates and the deviation space (an agent cannot deviate to an
+// inadmissible strategy), and OptCost ranges over feasible profiles
+// only. Under unconstrained models every profile is feasible and the
+// classification is unchanged.
 func ExhaustiveCensus(g *game.Game) (Census, error) {
 	n := g.N()
 	if n > maxCensusAgents {
@@ -65,6 +74,27 @@ func ExhaustiveCensus(g *game.Game) (Census, error) {
 	total := 1
 	for i := 0; i < n; i++ {
 		total *= perAgent
+	}
+
+	// Per-agent strategy-digit admissibility under the cost model,
+	// precomputed once (n·2^(n-1) entries) so the deviation loop below
+	// stays a table lookup.
+	rules := g.Rules()
+	feas := make([][]bool, n)
+	for u := 0; u < n; u++ {
+		feas[u] = make([]bool, perAgent)
+		for alt := 0; alt < perAgent; alt++ {
+			feas[u][alt] = rules.Feasible(g, u, decodeStrategy(alt, u, n))
+		}
+	}
+	profFeasible := func(idx int) bool {
+		for u := 0; u < n; u++ {
+			if !feas[u][idx%perAgent] {
+				return false
+			}
+			idx /= perAgent
+		}
+		return true
 	}
 
 	type profInfo struct {
@@ -88,9 +118,15 @@ func ExhaustiveCensus(g *game.Game) (Census, error) {
 		WorstNECost: math.Inf(-1),
 	}
 	isNE := parallel.Map(total, func(idx int) bool {
+		if !profFeasible(idx) {
+			return false
+		}
 		for u := 0; u < n; u++ {
 			cur := infos[idx].costs[u]
 			for alt := 0; alt < perAgent; alt++ {
+				if !feas[u][alt] {
+					continue // inadmissible deviation under the model
+				}
 				nidx := replaceAgentStrategy(idx, u, alt, n, perAgent)
 				if nidx == idx {
 					continue
@@ -103,7 +139,7 @@ func ExhaustiveCensus(g *game.Game) (Census, error) {
 		return true
 	})
 	for idx := 0; idx < total; idx++ {
-		if infos[idx].social < c.OptCost {
+		if profFeasible(idx) && infos[idx].social < c.OptCost {
 			c.OptCost = infos[idx].social
 		}
 		if !isNE[idx] {
@@ -149,6 +185,23 @@ func decodeProfile(idx, n, perAgent int) game.Profile {
 		}
 	}
 	return p
+}
+
+// decodeStrategy expands one agent digit into that agent's strategy
+// set, with decodeProfile's bit order (the other agents, increasing).
+func decodeStrategy(mask, u, n int) bitset.Set {
+	strat := bitset.New(n)
+	bit := 0
+	for v := 0; v < n; v++ {
+		if v == u {
+			continue
+		}
+		if mask&(1<<bit) != 0 {
+			strat.Add(v)
+		}
+		bit++
+	}
+	return strat
 }
 
 func replaceAgentStrategy(idx, u, alt, n, perAgent int) int {

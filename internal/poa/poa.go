@@ -127,8 +127,14 @@ func VerifyLowerBoundWorkers(lb *constructions.LowerBound, size, workers int) Ro
 	}
 	row := MeasureLowerBound(lb, size)
 	n := lb.Game.N()
+	// The exact-Nash tier is model-gated: cost models without the UMFL
+	// best-response reduction (Rules.ExactNashViaUMFL false) cannot be
+	// exactly verified — bestresponse.VerifyNashWorkers rejects them —
+	// so such games downgrade to the greedy tier instead of panicking.
+	// Tier assignment still depends only on (n, workers, model), never
+	// on a verdict, so rows stay byte-deterministic.
 	switch {
-	case n <= exactNashLimit:
+	case n <= exactNashLimit && lb.Game.Rules().ExactNashViaUMFL():
 		rep := bestresponse.VerifyNashWorkers(game.NewState(lb.Game, lb.Equilibrium.Clone()), workers)
 		row.Tier = TierExactNash
 		row.Stable = rep.Nash
