@@ -182,3 +182,107 @@ func Missing(old, cur map[string]BenchResult) []string {
 	sort.Strings(out)
 	return out
 }
+
+// SpeedupSpec is one "Slow/Fast>=K" assertion checked within a single
+// benchmark run: the Slow benchmark's ns/op must be at least K times the
+// Fast benchmark's ns/op. This gates intra-run ratios (e.g. the
+// geometric candidate scan vs the pruned exhaustive scan on the same
+// workload), which — unlike cross-run comparisons — are immune to
+// runner speed variance.
+type SpeedupSpec struct {
+	Slow, Fast string
+	Min        float64
+}
+
+// ParseSpeedups parses a comma-separated list of "Slow/Fast>=K" specs.
+func ParseSpeedups(s string) ([]SpeedupSpec, error) {
+	var specs []SpeedupSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		names, minStr, ok := strings.Cut(part, ">=")
+		if !ok {
+			return nil, fmt.Errorf("speedup spec %q: want Slow/Fast>=K", part)
+		}
+		slow, fast, ok := strings.Cut(names, "/")
+		if !ok || strings.TrimSpace(slow) == "" || strings.TrimSpace(fast) == "" {
+			return nil, fmt.Errorf("speedup spec %q: want Slow/Fast>=K", part)
+		}
+		min, err := strconv.ParseFloat(strings.TrimSpace(minStr), 64)
+		if err != nil || min <= 0 {
+			return nil, fmt.Errorf("speedup spec %q: bad ratio %q", part, minStr)
+		}
+		specs = append(specs, SpeedupSpec{Slow: strings.TrimSpace(slow), Fast: strings.TrimSpace(fast), Min: min})
+	}
+	return specs, nil
+}
+
+// findBench resolves a spec name against a result set. Exact key match
+// wins; otherwise a unique suffix match on the package-qualified key
+// ("pkg.BenchmarkFoo") is accepted, so specs can name bare benchmarks
+// against -json inputs. Ambiguous or absent names return an error.
+func findBench(res map[string]BenchResult, name string) (BenchResult, error) {
+	if r, ok := res[name]; ok {
+		return r, nil
+	}
+	var hits []string
+	for key := range res {
+		if strings.HasSuffix(key, "."+name) {
+			hits = append(hits, key)
+		}
+	}
+	switch len(hits) {
+	case 1:
+		return res[hits[0]], nil
+	case 0:
+		return BenchResult{}, fmt.Errorf("benchmark %q not found in run", name)
+	default:
+		sort.Strings(hits)
+		return BenchResult{}, fmt.Errorf("benchmark %q is ambiguous: %v", name, hits)
+	}
+}
+
+// SpeedupFailure is one speedup floor that did not hold.
+type SpeedupFailure struct {
+	Spec SpeedupSpec
+	Got  float64 // actual slow/fast ratio; 0 if a side was unresolvable
+	Err  error   // non-nil when a benchmark was missing or had no ns/op
+}
+
+func (f SpeedupFailure) String() string {
+	if f.Err != nil {
+		return fmt.Sprintf("SPEEDUP %s/%s>=%.3g: %v", f.Spec.Slow, f.Spec.Fast, f.Spec.Min, f.Err)
+	}
+	return fmt.Sprintf("SPEEDUP %s/%s: %.2fx, want >=%.3gx", f.Spec.Slow, f.Spec.Fast, f.Got, f.Spec.Min)
+}
+
+// CheckSpeedups evaluates each spec against one result set and returns
+// the failures. An unresolvable benchmark or a missing ns/op metric is a
+// failure, not a skip — a speedup floor that silently stops measuring
+// is worse than one that trips.
+func CheckSpeedups(res map[string]BenchResult, specs []SpeedupSpec) []SpeedupFailure {
+	var fails []SpeedupFailure
+	for _, sp := range specs {
+		slow, err := findBench(res, sp.Slow)
+		if err != nil {
+			fails = append(fails, SpeedupFailure{Spec: sp, Err: err})
+			continue
+		}
+		fast, err := findBench(res, sp.Fast)
+		if err != nil {
+			fails = append(fails, SpeedupFailure{Spec: sp, Err: err})
+			continue
+		}
+		sn, fn := slow.Metrics["ns/op"], fast.Metrics["ns/op"]
+		if sn <= 0 || fn <= 0 {
+			fails = append(fails, SpeedupFailure{Spec: sp, Err: fmt.Errorf("missing ns/op (slow=%v fast=%v)", sn, fn)})
+			continue
+		}
+		if ratio := sn / fn; ratio < sp.Min {
+			fails = append(fails, SpeedupFailure{Spec: sp, Got: ratio})
+		}
+	}
+	return fails
+}

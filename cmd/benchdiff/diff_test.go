@@ -124,3 +124,66 @@ func TestCompareBoundaryConditions(t *testing.T) {
 		t.Fatalf("past-boundary not flagged: %v", regs)
 	}
 }
+
+func TestParseSpeedups(t *testing.T) {
+	specs, err := ParseSpeedups("BenchmarkSlow/BenchmarkFast>=5, A/B>=1.5,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SpeedupSpec{
+		{Slow: "BenchmarkSlow", Fast: "BenchmarkFast", Min: 5},
+		{Slow: "A", Fast: "B", Min: 1.5},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("got %v, want %v", specs, want)
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Fatalf("spec %d = %v, want %v", i, specs[i], want[i])
+		}
+	}
+	if specs, err := ParseSpeedups(""); err != nil || len(specs) != 0 {
+		t.Fatalf("empty spec: %v, %v", specs, err)
+	}
+	for _, bad := range []string{"A/B", "A>=3", "A/B>=x", "A/B>=0", "A/B>=-1", "/B>=2", "A/>=2"} {
+		if _, err := ParseSpeedups(bad); err == nil {
+			t.Fatalf("ParseSpeedups(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCheckSpeedups(t *testing.T) {
+	res := map[string]BenchResult{
+		"gncg.BenchmarkSlow": bench(1000, 0),
+		"gncg.BenchmarkFast": bench(100, 0),
+		"gncg.BenchmarkDead": {Name: "BenchmarkDead", Metrics: map[string]float64{}},
+	}
+	// Holds at exactly the floor (10x >= 10), via suffix match on
+	// package-qualified keys.
+	if fails := CheckSpeedups(res, []SpeedupSpec{{Slow: "BenchmarkSlow", Fast: "BenchmarkFast", Min: 10}}); len(fails) != 0 {
+		t.Fatalf("10x floor failed: %v", fails)
+	}
+	// Trips just past the floor.
+	fails := CheckSpeedups(res, []SpeedupSpec{{Slow: "BenchmarkSlow", Fast: "BenchmarkFast", Min: 10.01}})
+	if len(fails) != 1 || fails[0].Err != nil || fails[0].Got != 10 {
+		t.Fatalf("10.01x floor: %v", fails)
+	}
+	// Missing benchmark and missing ns/op are failures, not skips.
+	for _, sp := range []SpeedupSpec{
+		{Slow: "BenchmarkGone", Fast: "BenchmarkFast", Min: 2},
+		{Slow: "BenchmarkSlow", Fast: "BenchmarkDead", Min: 2},
+	} {
+		if fails := CheckSpeedups(res, []SpeedupSpec{sp}); len(fails) != 1 || fails[0].Err == nil {
+			t.Fatalf("%v: %v", sp, fails)
+		}
+	}
+	// Exact key match wins; ambiguous suffix errors.
+	res["other.BenchmarkFast"] = bench(1, 0)
+	if fails := CheckSpeedups(res, []SpeedupSpec{{Slow: "BenchmarkSlow", Fast: "BenchmarkFast", Min: 2}}); len(fails) != 1 || fails[0].Err == nil {
+		t.Fatalf("ambiguous suffix not flagged: %v", fails)
+	}
+	res["BenchmarkFast"] = bench(500, 0)
+	if fails := CheckSpeedups(res, []SpeedupSpec{{Slow: "BenchmarkSlow", Fast: "BenchmarkFast", Min: 2}}); len(fails) != 0 {
+		t.Fatalf("exact key did not win: %v", fails)
+	}
+}

@@ -12,8 +12,16 @@
 // (default 4x) and absolutely slow (default 50ms), which filters the
 // noise floor of single-iteration timings across runners. Allocation
 // counts are deterministic, so allocs/op is compared tightly (default
-// +25% and +1000 allocs). Exit status: 0 = no regressions, 1 =
-// regressions found, 2 = usage or parse error.
+// +25% and +1000 allocs).
+//
+// -speedup asserts intra-run ratios within the -new file alone
+// ("Slow/Fast>=K", comma-separated): both benchmarks come from the same
+// run on the same runner, so the ratio is immune to the cross-runner
+// variance that forces the generous regression thresholds. When only
+// -speedup checks are requested, -old may be omitted.
+//
+// Exit status: 0 = no regressions and all speedup floors hold, 1 =
+// regressions or failed floors, 2 = usage or parse error.
 package main
 
 import (
@@ -29,17 +37,38 @@ func main() {
 	timeFloor := flag.Float64("time-floor", DefaultThresholds().TimeFloor, "ns/op absolute floor below which time regressions are ignored")
 	allocRatio := flag.Float64("alloc-ratio", DefaultThresholds().AllocRatio, "allocs/op regression ratio")
 	allocFloor := flag.Float64("alloc-floor", DefaultThresholds().AllocFloor, "allocs/op absolute delta floor")
+	speedup := flag.String("speedup", "", "comma-separated Slow/Fast>=K floors checked within the -new run (e.g. BenchmarkScan/BenchmarkGeo>=5)")
 	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff -old baseline.json -new fresh.json")
-		os.Exit(2)
-	}
-	old, err := parseFile(*oldPath)
+	specs, err := ParseSpeedups(*speedup)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// -old is optional when only intra-run speedup floors are requested.
+	if *newPath == "" || (*oldPath == "" && len(specs) == 0) {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -old baseline.json -new fresh.json [-speedup Slow/Fast>=K]")
+		os.Exit(2)
+	}
 	cur, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	failed := false
+	for _, f := range CheckSpeedups(cur, specs) {
+		fmt.Println(f)
+		failed = true
+	}
+	if len(specs) > 0 && !failed {
+		fmt.Printf("benchdiff: %d speedup floor(s) hold\n", len(specs))
+	}
+	if *oldPath == "" {
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+	old, err := parseFile(*oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -60,9 +89,13 @@ func main() {
 	}
 	if len(regs) > 0 {
 		fmt.Printf("benchdiff: %d regression(s)\n", len(regs))
+		failed = true
+	} else {
+		fmt.Println("benchdiff: no regressions")
+	}
+	if failed {
 		os.Exit(1)
 	}
-	fmt.Println("benchdiff: no regressions")
 }
 
 func parseFile(path string) (map[string]BenchResult, error) {

@@ -54,6 +54,7 @@ func registerAll() {
 	registerScale()
 	registerScaleGreedy()
 	registerEquilibrium()
+	registerEquilibriumXL()
 	registerCycleCensus()
 	registerModelCompare()
 }
@@ -1138,6 +1139,8 @@ func registerEquilibrium() {
 		Schema: []string{"alpha", "outcome", "rounds", "moves", "social_cost", "opt_lb",
 			"poa_vs_lb", "exact_oracle_ne",
 			"verify_workers", "cert_skipped", "verify_ms",
+			"candidate_scans", "candidates_scanned", "excess_skips",
+			"exhaustive_scans", "fallbacks",
 			"cache_cap", "cache_probe_hits", "cache_probe_misses",
 			"cache_probe_evictions", "cache_probe_repairs"},
 		Run: func(p sweep.Params) []sweep.Record {
@@ -1150,6 +1153,12 @@ func registerEquilibrium() {
 			// converge well inside it.
 			budget := dynamics.Budget{MaxRounds: 32, MaxMoves: 20 * n}
 			res := dynamics.RunToConvergence(s, dynamics.GreedyMover, dynamics.RoundRobin{}, budget)
+			// The dynamics' scan telemetry, before verification: the
+			// verifier works on clones (their counters are discarded) and
+			// the sampled exact oracle runs unpruned scans, which do not
+			// count — so these numbers describe exactly the convergence
+			// run above.
+			scan := s.ScanStats()
 			lb := opt.LowerBound(g)
 
 			verified := "-"
@@ -1192,6 +1201,12 @@ func registerEquilibrium() {
 			// parallel verify (verify_ms is wall clock, hence volatile:
 			// check_shards.py allowlists it when comparing shard merges).
 			if !p.Quick {
+				kv = append(kv,
+					"candidate_scans", scan.CandidateScans,
+					"candidates_scanned", scan.CandidatesScanned,
+					"excess_skips", scan.ExcessSkips,
+					"exhaustive_scans", scan.ExhaustiveScans,
+					"fallbacks", scan.Fallbacks)
 				st := cacheChurnProbe(s)
 				kv = append(kv,
 					"cache_cap", st.Capacity,

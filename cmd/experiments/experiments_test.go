@@ -50,7 +50,7 @@ func TestRegistryComplete(t *testing.T) {
 		"thm10", "thm11", "thm12", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "thm18", "fig10", "thm20", "conj1", "ncg", "oneinf",
 		"empirical", "pos", "table1", "scale", "scale_greedy", "equilibrium",
-		"cycle_census", "model_compare",
+		"equilibrium_xl", "cycle_census", "model_compare",
 	}
 	if got := len(sweep.All()); got != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", got, len(want))

@@ -54,8 +54,37 @@ import (
 	"sync"
 	"time"
 
+	"gncg/internal/game"
 	"gncg/internal/sweep"
 )
+
+// applyCandidateMode resolves the geometric candidate-generation toggle
+// from, in precedence order, the -candidates flag, the GNCG_CANDIDATES
+// environment variable, and the built-in default (on), applies it
+// process-wide, and re-exports the resolved mode into the environment so
+// shard and worker subprocesses (coordinate, serve, work) inherit it —
+// an A/B sweep stays in one mode across every process it spawns.
+func applyCandidateMode(flagVal string) error {
+	mode := flagVal
+	if mode == "" {
+		mode = os.Getenv("GNCG_CANDIDATES")
+	}
+	switch mode {
+	case "":
+		mode = "on"
+	case "on", "off":
+	default:
+		return fmt.Errorf("invalid -candidates mode %q (want on or off)", mode)
+	}
+	game.SetCandidateGeneration(mode == "on")
+	return os.Setenv("GNCG_CANDIDATES", mode)
+}
+
+// candidatesFlag registers the shared -candidates flag spelling on a
+// subcommand flag set.
+func candidatesFlag(fs *flag.FlagSet) *string {
+	return fs.String("candidates", "", "geometric candidate generation: on or off (default: $GNCG_CANDIDATES, else on)")
+}
 
 // registerOnce guards the global registry: main registers exactly once,
 // and tests can call ensureRegistered freely.
@@ -87,8 +116,13 @@ func main() {
 	widePath := flag.String("wide", "", "write wide-format CSV results (one <experiment>.csv per experiment) into this directory")
 	tables := flag.Bool("tables", true, "render result tables to stdout")
 	progress := flag.Bool("progress", false, "report per-cell progress on stderr")
+	candidates := flag.String("candidates", "", "geometric candidate generation: on or off (default: $GNCG_CANDIDATES, else on)")
 	flag.Parse()
 
+	if err := applyCandidateMode(*candidates); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	ensureRegistered()
 
 	if *list {
@@ -243,6 +277,7 @@ func coordinateMain(args []string, stderr io.Writer) int {
 	widePath := fs.String("wide", "", "write merged wide-format CSV (one <experiment>.csv per experiment) into this directory")
 	shardDir := fs.String("shard-dir", "", "keep per-shard JSON files (shard-<i>.json) in this directory (default: a temp dir, removed)")
 	progress := fs.Bool("progress", false, "shards report per-cell progress on stderr")
+	candidates := candidatesFlag(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: experiments coordinate -shards K [-quick] [-run spec] [-out merged.json] [-csv merged.csv] [-wide dir] [selector...]")
 		fs.PrintDefaults()
@@ -252,6 +287,10 @@ func coordinateMain(args []string, stderr io.Writer) int {
 	}
 	if *shards < 1 {
 		fmt.Fprintf(stderr, "coordinate: -shards %d out of range\n", *shards)
+		return 2
+	}
+	if err := applyCandidateMode(*candidates); err != nil {
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	if *outPath == "-" && *csvPath == "-" {

@@ -45,6 +45,7 @@ func serveMain(args []string, stderr io.Writer) int {
 	widePath := fs.String("wide", "", "write merged wide-format CSV (one <experiment>.csv per experiment) into this directory")
 	progress := fs.Bool("progress", false, "report scheduling and per-cell progress on stderr")
 	linger := fs.Duration("linger", 0, "keep /status and /results up this long after completion (POST /shutdown ends it early)")
+	candidates := candidatesFlag(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: experiments serve -job DIR [-resume] [-shards K] [-listen addr] [-run spec] [-quick] [-out merged.json] [selector...]")
 		fs.PrintDefaults()
@@ -55,6 +56,10 @@ func serveMain(args []string, stderr io.Writer) int {
 	if *jobDir == "" {
 		fmt.Fprintln(stderr, "serve: -job DIR is required (the journal is the whole point)")
 		fs.Usage()
+		return 2
+	}
+	if err := applyCandidateMode(*candidates); err != nil {
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	spec := *run
@@ -224,6 +229,7 @@ func workMain(args []string, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "worker goroutines for cells of one lease (0 = GOMAXPROCS)")
 	batch := fs.Int("batch", 0, "max cells to request per lease (0 = coordinator's policy)")
 	progress := fs.Bool("progress", false, "report per-lease progress on stderr")
+	candidates := candidatesFlag(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: experiments work -connect host:port [-name shard-X] [-workers N]")
 		fs.PrintDefaults()
@@ -233,6 +239,10 @@ func workMain(args []string, stderr io.Writer) int {
 	}
 	if *connect == "" {
 		fs.Usage()
+		return 2
+	}
+	if err := applyCandidateMode(*candidates); err != nil {
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	if *name == "" {

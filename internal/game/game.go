@@ -164,6 +164,16 @@ type Game struct {
 	// rules is the pluggable cost model (rules.go); nil means the
 	// paper's SumRules. Read through Rules(), set through SetRules.
 	rules Rules
+
+	// floorSums lazily caches the per-agent traffic-weighted host floor
+	// Σ_x t(u,x)·w(u,x) behind the excess certificate (candidates.go).
+	// The sums are strategy-independent; floorEpoch tracks costEpoch so
+	// SetTraffic invalidates them. Guarded by floorMu — states and
+	// verifier clones share the Game across goroutines.
+	floorMu    sync.Mutex
+	floorEpoch uint64
+	floorSums  []float64
+	floorDone  []bool
 }
 
 // New returns a game on host h with parameter alpha and the default

@@ -166,13 +166,20 @@ func (s *State) BestSingleMoveExact(u int) (best Move, cost float64, ok bool) {
 // non-improving. Enumeration order is shared with the oracle so that the
 // first candidate attaining the minimum — which is never pruned — wins in
 // both scans.
+//
+// On top of the per-candidate pruning sit two geometric tiers (see
+// candidates.go), both gated on the global candidate-generation toggle
+// and both outcome-preserving: the metric excess certificate, which
+// reduces the scan to the agent's deletions without enumerating
+// acquisition targets at all, and the candidate tier, which walks only
+// the host's CandidateSource neighborhood inside a certified cutoff
+// radius — every unenumerated target provably satisfies the same skip
+// condition the pruned scan applies. Acquisition candidates that DO get
+// enumerated are visited in the same ascending-index order in every
+// tier, so the first-attains-the-minimum tie-break never diverges.
 func (s *State) bestSingleMove(u int, prune bool) (best Move, cost float64, ok bool) {
 	cur := s.Cost(u)
 	cost = cur
-	var pb *moveBounds
-	if prune {
-		pb = s.newMoveBounds(u, cur)
-	}
 	n := s.G.N()
 	owned := s.P.S[u]
 	r := s.G.Rules()
@@ -184,6 +191,30 @@ func (s *State) bestSingleMove(u int, prune bool) (best Move, cost float64, ok b
 			cost = c
 			best = m
 		}
+	}
+	finish := func() (Move, float64, bool) {
+		ok = s.G.Improves(cost, cur)
+		if !ok {
+			// The running best may hold a sub-tolerance improver that a
+			// tier with fewer enumerated candidates never saw; reset it so
+			// the "meaningless" move is one fixed value and every scan
+			// tier — and the exact oracle — returns an identical triple.
+			cost = cur
+			best = Move{}
+		}
+		return best, cost, ok
+	}
+	geo := prune && CandidateGenerationEnabled()
+	if geo && s.excessRulesOutAcquisitions(u, cur, owned) {
+		s.scan.ExcessSkips++
+		owned.ForEach(func(v int) {
+			consider(Move{Agent: u, Kind: Delete, V: v})
+		})
+		return finish()
+	}
+	var pb *moveBounds
+	if prune {
+		pb = s.newMoveBounds(u, cur)
 	}
 	// Adaptive bail: bound checks only pay for themselves when they
 	// actually prune (near-stable states, large α). If the first probe
@@ -203,6 +234,43 @@ func (s *State) bestSingleMove(u int, prune bool) (best Move, cost float64, ok b
 			return true
 		}
 		return false
+	}
+	if geo && pb != nil {
+		if src := s.G.Host.candidateSource(); src != nil {
+			if rCut, cok := pb.acquireCutoff(s.maxRefundPrice(u, owned)); cok {
+				s.scan.CandidateScans++
+				s.candBuf = src.AppendWithin(u, rCut, s.candBuf[:0])
+				cands := s.candBuf
+				s.scan.CandidatesScanned += len(cands)
+				for _, v := range cands {
+					if v == u || owned.Has(v) {
+						continue
+					}
+					if skip(v, 0) {
+						continue
+					}
+					consider(Move{Agent: u, Kind: Buy, V: v})
+				}
+				owned.ForEach(func(v int) {
+					consider(Move{Agent: u, Kind: Delete, V: v})
+					refund := pb.rules.AcquirePrice(pb.alpha, s.hostWeight(u, v))
+					for _, x := range cands {
+						if x == u || x == v || owned.Has(x) {
+							continue
+						}
+						if skip(x, refund) {
+							continue
+						}
+						consider(Move{Agent: u, Kind: Swap, V: v, X: x})
+					}
+				})
+				return finish()
+			}
+			s.scan.Fallbacks++
+		}
+	}
+	if prune {
+		s.scan.ExhaustiveScans++
 	}
 	for v := 0; v < n; v++ {
 		if v == u || owned.Has(v) {
@@ -229,11 +297,7 @@ func (s *State) bestSingleMove(u int, prune bool) (best Move, cost float64, ok b
 			consider(Move{Agent: u, Kind: Swap, V: v, X: x})
 		}
 	})
-	ok = s.G.Improves(cost, cur)
-	if !ok {
-		cost = cur
-	}
-	return best, cost, ok
+	return finish()
 }
 
 // moveBounds holds the per-agent quantities behind the pruned move scan.
@@ -266,15 +330,29 @@ func (s *State) bestSingleMove(u int, prune bool) (best Move, cost float64, ok b
 // bounds stay sound under any model that declares them applicable.
 type moveBounds struct {
 	duv   []float64 // private copy of u's distance row (repair-safe)
-	ds    []float64 // positive-traffic distances, ascending
+	pairs []distDemand
+	ds    []float64 // positive-traffic distances, ascending (lazy: ensureSorted)
 	std   []float64 // std[i] = Σ_{j≥i} t_j·ds[j]
 	st    []float64 // st[i] = Σ_{j≥i} t_j
 	tpos  float64   // Σ_x t(u,x)
-	alpha float64
-	eps   float64
-	slack float64
-	rules Rules
+	sumTD float64   // Σ_x t(u,x)·d(u,x) = gainUB(0), the coarse gain ceiling
+	minD  float64   // smallest positive-traffic distance
+	maxD  float64   // largest positive-traffic distance
+	// excessUB bounds the gain of ANY acquiring move on a structurally
+	// metric host: distances cannot drop below the host-metric floor, so
+	// gain ≤ Σ_x t·(d − w) = sumTD − trafficFloorSum. +Inf on non-metric
+	// hosts. O(1) per candidate, independent of the candidate — it is
+	// what prunes the near field where the pair and sorted-row bounds
+	// (which allow a short edge to shortcut towards everything) stay
+	// hopelessly loose.
+	excessUB float64
+	alpha    float64
+	eps      float64
+	slack    float64
+	rules    Rules
 }
+
+type distDemand struct{ d, t float64 }
 
 func (s *State) newMoveBounds(u int, cur float64) *moveBounds {
 	if math.IsInf(cur, 1) {
@@ -292,8 +370,8 @@ func (s *State) newMoveBounds(u int, cur float64) *moveBounds {
 		slack: 1e-11 * (1 + math.Abs(cur)),
 		rules: r,
 	}
-	type dt struct{ d, t float64 }
-	pairs := make([]dt, 0, len(row))
+	pb.pairs = make([]distDemand, 0, len(row))
+	pb.minD = math.Inf(1)
 	for x, d := range row {
 		if x == u {
 			continue
@@ -302,8 +380,35 @@ func (s *State) newMoveBounds(u int, cur float64) *moveBounds {
 		if t == 0 {
 			continue // zero demand contributes no gain (and tolerates d = +Inf)
 		}
-		pairs = append(pairs, dt{d, t})
+		pb.pairs = append(pb.pairs, distDemand{d, t})
+		pb.tpos += t
+		pb.sumTD += t * d
+		if d > pb.maxD {
+			pb.maxD = d
+		}
+		if d < pb.minD {
+			pb.minD = d
+		}
 	}
+	pb.excessUB = math.Inf(1)
+	if s.G.Host.metricByConstruction(s.G.Eps) {
+		if floor := s.G.trafficFloorSum(u); !math.IsInf(floor, 0) && !math.IsNaN(floor) {
+			pb.excessUB = pb.sumTD - floor
+		}
+	}
+	return pb
+}
+
+// ensureSorted builds the sorted-row prefix arrays behind gainUB on
+// first use. The O(n log n) sort is deferred because the geometric
+// candidate tier usually resolves its whole scan from the coarse sumTD
+// ceiling and the O(1) pair bound — the common large-n case never pays
+// for a sort it does not consult.
+func (pb *moveBounds) ensureSorted() {
+	if pb.ds != nil || pb.pairs == nil {
+		return
+	}
+	pairs := pb.pairs
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].d < pairs[j].d })
 	pb.ds = make([]float64, len(pairs))
 	pb.std = make([]float64, len(pairs)+1)
@@ -313,12 +418,18 @@ func (s *State) newMoveBounds(u int, cur float64) *moveBounds {
 		pb.std[i] = pb.std[i+1] + pairs[i].t*pairs[i].d
 		pb.st[i] = pb.st[i+1] + pairs[i].t
 	}
-	pb.tpos = pb.st[0]
-	return pb
 }
 
 // gainUB returns Σ_x t(u,x)·max(0, d(u,x) − w).
 func (pb *moveBounds) gainUB(w float64) float64 {
+	if w <= pb.minD {
+		// Every positive-traffic distance is ≥ w, so no max(·) clamps and
+		// the sum collapses to the O(1) aggregates — the geometric tier's
+		// candidates all sit below the nearest network distance, so this
+		// shortcut is what keeps that tier free of the O(n log n) sort.
+		return pb.sumTD - w*pb.tpos
+	}
+	pb.ensureSorted()
 	i := sort.SearchFloat64s(pb.ds, w) // first index with ds[i] ≥ w; equal terms contribute 0
 	return pb.std[i] - w*pb.st[i]
 }
@@ -337,12 +448,16 @@ func (pb *moveBounds) skipAcquire(w, duy, refund, bestGain float64) bool {
 		threshold = pb.eps
 	}
 	threshold += pb.rules.AcquirePrice(pb.alpha, w) - refund - pb.slack
-	// O(1) triangle bound first; the sorted-row bound only when it fails.
+	// O(1) bounds first — the triangle pair bound and the metric excess
+	// ceiling — then the sorted-row bound only when both fail.
 	var pair float64
 	if pb.tpos > 0 && duy > w {
 		pair = pb.tpos * (duy - w) // duy may be +Inf (zero-demand pair): pair = +Inf, no prune
 	}
 	if pair <= threshold {
+		return true
+	}
+	if pb.excessUB <= threshold {
 		return true
 	}
 	return pb.gainUB(w) <= threshold
@@ -371,6 +486,7 @@ func (s *State) BestBuy(u int) (best Move, cost float64, ok bool) {
 	ok = s.G.Improves(cost, cur)
 	if !ok {
 		cost = cur
+		best = Move{}
 	}
 	return best, cost, ok
 }

@@ -37,6 +37,22 @@ func StarProfile(n, center int) Profile {
 	return p
 }
 
+// SpokeProfile returns the leaf-owned star: every agent except `center`
+// buys its own edge towards center. The same network as StarProfile with
+// the opposite ownership — the configuration in which each agent pays
+// for exactly its own connection, the canonical equilibrium shape of the
+// paper's tree constructions and the excess certificate's best case
+// (every agent sits at its host-metric floor).
+func SpokeProfile(n, center int) Profile {
+	p := EmptyProfile(n)
+	for v := 0; v < n; v++ {
+		if v != center {
+			p.Buy(v, center)
+		}
+	}
+	return p
+}
+
 // PathProfile returns the profile where agent i buys the edge to i+1
 // along the given vertex order.
 func PathProfile(n int, order []int) Profile {

@@ -24,6 +24,12 @@ type State struct {
 	// a white-box regression guard: a single-edge move must do O(Δ) work,
 	// not rescan all n vertices (see TestSetStrategyTouchesOnlyDiff).
 	touched int
+
+	// scan accumulates best-response scan telemetry (see candidates.go);
+	// candBuf is the reused scratch buffer for candidate-source queries.
+	// Clones start with zero counters and a nil buffer.
+	scan    ScanStats
+	candBuf []int
 }
 
 // NewState binds profile p to game g and materializes G(s). The profile is

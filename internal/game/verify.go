@@ -94,6 +94,9 @@ func (s *State) AcquireGainCertificate(u int) (cert GainCertificate, ok bool) {
 			pair = pb.tpos * (duy - w)
 		}
 		b := pair
+		if pb.excessUB < b {
+			b = pb.excessUB
+		}
 		if g := pb.gainUB(w); g < b {
 			b = g
 		}

@@ -1,0 +1,241 @@
+package geom_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gncg/internal/geom"
+	"gncg/internal/graph"
+	"gncg/internal/metric"
+)
+
+// genCoords returns n random points in [0,scale)^d with roughly a
+// quarter of them exact duplicates of earlier points — the degenerate
+// case the kd-tree's median split and tie handling must survive.
+func genCoords(rng *rand.Rand, n, d int, scale float64) [][]float64 {
+	coords := make([][]float64, n)
+	for i := range coords {
+		if i > 0 && rng.Intn(4) == 0 {
+			src := coords[rng.Intn(i)]
+			coords[i] = append([]float64(nil), src...)
+			continue
+		}
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = rng.Float64() * scale
+		}
+		coords[i] = c
+	}
+	return coords
+}
+
+// bruteWithin is the contract's reference: every index with exact
+// distance at most r, ascending.
+func bruteWithin(coords [][]float64, p float64, q []float64, r float64) []int {
+	var out []int
+	for i, c := range coords {
+		if metric.PNormDist(q, c, p) <= r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestKDTreeRangeMatchesBruteForce pins AppendWithin bit-equality
+// against the brute-force scan over ℓ1, ℓ2, ℓ∞ and a general p-norm,
+// across dimensions, duplicate-heavy point sets, and radii that land
+// exactly ON pairwise distances (the tie case float slop would break).
+func TestKDTreeRangeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range []float64{1, 2, math.Inf(1), 2.5} {
+		for _, d := range []int{1, 2, 3} {
+			for _, n := range []int{1, 2, 17, 64, 200} {
+				coords := genCoords(rng, n, d, 100)
+				kd := geom.NewKDTree(coords, p)
+				if kd.Size() != n {
+					t.Fatalf("p=%v d=%d n=%d: Size=%d", p, d, n, kd.Size())
+				}
+				for trial := 0; trial < 20; trial++ {
+					u := rng.Intn(n)
+					q := coords[u]
+					var r float64
+					switch trial % 4 {
+					case 0: // a radius exactly on a pairwise distance: tie inclusion
+						r = metric.PNormDist(q, coords[rng.Intn(n)], p)
+					case 1:
+						r = 0
+					case 2:
+						r = rng.Float64() * 50
+					case 3:
+						r = -1 // nothing within a negative radius
+					}
+					got := kd.AppendWithin(q, r, nil)
+					want := bruteWithin(coords, p, q, r)
+					if !equalInts(got, want) {
+						t.Fatalf("p=%v d=%d n=%d u=%d r=%v:\n got %v\nwant %v",
+							p, d, n, u, r, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKDTreeRangeAppendsToBuffer: AppendWithin must append after the
+// existing prefix, untouched.
+func TestKDTreeRangeAppendsToBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	coords := genCoords(rng, 50, 2, 10)
+	kd := geom.NewKDTree(coords, 2)
+	buf := []int{-7, -8}
+	buf = kd.AppendWithin(coords[3], 5, buf)
+	if buf[0] != -7 || buf[1] != -8 {
+		t.Fatalf("prefix clobbered: %v", buf[:2])
+	}
+	if want := bruteWithin(coords, 2, coords[3], 5); !equalInts(buf[2:], want) {
+		t.Fatalf("appended tail %v, want %v", buf[2:], want)
+	}
+}
+
+// TestKDTreeKNearestMatchesBruteForce pins KNearest against a full sort
+// by (distance, index) — including k larger than n and duplicate points
+// tied at identical distances.
+func TestKDTreeKNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, p := range []float64{1, 2, math.Inf(1), 3} {
+		for _, n := range []int{1, 5, 33, 120} {
+			coords := genCoords(rng, n, 2, 100)
+			kd := geom.NewKDTree(coords, p)
+			for _, k := range []int{0, 1, 3, n, n + 5} {
+				u := rng.Intn(n)
+				q := coords[u]
+				got := kd.KNearest(q, k)
+				type di struct {
+					d float64
+					i int
+				}
+				all := make([]di, n)
+				for i, c := range coords {
+					all[i] = di{metric.PNormDist(q, c, p), i}
+				}
+				sort.Slice(all, func(a, b int) bool {
+					if all[a].d != all[b].d {
+						return all[a].d < all[b].d
+					}
+					return all[a].i < all[b].i
+				})
+				wantK := k
+				if wantK > n {
+					wantK = n
+				}
+				want := make([]int, wantK)
+				for i := range want {
+					want[i] = all[i].i
+				}
+				if !equalInts(got, want) {
+					t.Fatalf("p=%v n=%d k=%d u=%d:\n got %v\nwant %v", p, n, k, u, got, want)
+				}
+			}
+		}
+	}
+}
+
+// randomTree returns a random spanning tree where roughly one edge in
+// four has weight exactly zero — the tie-heavy degenerate case for
+// truncated traversal.
+func randomTree(rng *rand.Rand, n int) []graph.Edge {
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		w := rng.Float64() * 5
+		if rng.Intn(4) == 0 {
+			w = 0
+		}
+		edges = append(edges, graph.Edge{U: rng.Intn(v), V: v, W: w})
+	}
+	return edges
+}
+
+// TestTreeIndexWithinMatchesBruteForce: filtering ForEachWithin's
+// visited set by the exact path distance must reproduce the brute-force
+// radius set — the visited superset never misses a vertex inside r.
+// Exact path distances are computed by an independent traversal with
+// the same root-to-leaf association order, so the floats agree term by
+// term.
+func TestTreeIndexWithinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{1, 2, 10, 60, 150} {
+		edges := randomTree(rng, n)
+		idx := geom.NewTreeIndex(n, edges)
+		if idx.Size() != n {
+			t.Fatalf("n=%d: Size=%d", n, idx.Size())
+		}
+		adj := make(map[int][][2]float64) // v -> list of (to, w)
+		for _, e := range edges {
+			adj[e.U] = append(adj[e.U], [2]float64{float64(e.V), e.W})
+			adj[e.V] = append(adj[e.V], [2]float64{float64(e.U), e.W})
+		}
+		trueDist := func(u int) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = math.Inf(1)
+			}
+			d[u] = 0
+			stack := []int{u}
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, e := range adj[v] {
+					to := int(e[0])
+					if math.IsInf(d[to], 1) {
+						d[to] = d[v] + e[1]
+						stack = append(stack, to)
+					}
+				}
+			}
+			return d
+		}
+		for trial := 0; trial < 15; trial++ {
+			u := rng.Intn(n)
+			d := trueDist(u)
+			var r float64
+			switch trial % 3 {
+			case 0:
+				r = d[rng.Intn(n)] // exactly on a vertex distance
+			case 1:
+				r = rng.Float64() * 10
+			case 2:
+				r = 0
+			}
+			var got []int
+			idx.ForEachWithin(u, r, func(v int, pd float64) {
+				if pd <= r {
+					got = append(got, v)
+				}
+			})
+			sort.Ints(got)
+			var want []int
+			for v := 0; v < n; v++ {
+				if d[v] <= r {
+					want = append(want, v)
+				}
+			}
+			if !equalInts(got, want) {
+				t.Fatalf("n=%d u=%d r=%v:\n got %v\nwant %v", n, u, r, got, want)
+			}
+		}
+	}
+}

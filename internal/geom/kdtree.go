@@ -1,0 +1,328 @@
+// Package geom holds the geometric index structures behind candidate
+// generation in the best-response hot path: a kd-tree over point hosts
+// (Rd–GNCG) and a truncated-traversal index over tree hosts (T–GNCG).
+//
+// Both answer neighborhood queries — "every point within host distance r
+// of u" — in output-sensitive time instead of a linear scan, which is
+// what lets game.BestSingleMove visit O(polylog n + k) candidates per
+// agent (ROADMAP: "Break the 10⁴ ceiling"). The structures are exact
+// accelerators, never approximations: a query's result set is defined
+// point-for-point against the brute-force scan of the same distance
+// function, and internal pruning is engineered so float rounding can
+// only ever over-include, with a final per-point distance check making
+// the output bit-equal to brute force (pinned by property tests).
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// kdLeafSize bounds the number of points a leaf holds before it splits.
+// Leaves are scanned linearly with exact distance checks, so the value
+// trades tree depth against per-leaf work; it does not affect results.
+const kdLeafSize = 16
+
+// pruneMargin is the relative safety slack applied to every box-prune
+// test. For the 1-, 2- and ∞-norms the box distance below is a
+// float-monotone lower bound on every contained point's distance
+// (see boxDist), so no margin is needed; general p-norms go through
+// math.Pow, which Go does not guarantee to be correctly rounded, and the
+// margin absorbs its ulp-level wobble. Over-inclusion is always sound —
+// every reported point passes an exact distance check.
+const pruneMargin = 1e-12
+
+// KDTree is a static kd-tree over a point set under a p-norm. Build it
+// once with NewKDTree; queries are read-only and safe for concurrent
+// use. Results are deterministic: they depend only on the point set, the
+// norm and the query, never on traversal order.
+type KDTree struct {
+	coords [][]float64
+	p      float64
+	dim    int
+	idx    []int // point indices, permuted so each leaf owns a range
+	nodes  []kdNode
+}
+
+// kdNode is one tree node. Leaves (left < 0) own idx[start:end];
+// internal nodes split on an axis chosen at build time. Every node
+// carries its bounding box for distance-based pruning.
+type kdNode struct {
+	left, right int // children; -1 on leaves
+	start, end  int // idx range covered by this subtree
+	bbLo, bbHi  []float64
+}
+
+// NewKDTree builds a kd-tree over coords under the p-norm (p >= 1 or
+// +Inf — the caller validates, metric.Points already has). The
+// coordinate slices are referenced, not copied, and must not be mutated
+// afterwards. Splits cut the widest bounding-box extent at the median,
+// with points ordered by (coordinate, index) so the build is fully
+// deterministic; duplicate points land in well-defined leaves.
+func NewKDTree(coords [][]float64, p float64) *KDTree {
+	t := &KDTree{coords: coords, p: p}
+	if len(coords) > 0 {
+		t.dim = len(coords[0])
+	}
+	t.idx = make([]int, len(coords))
+	for i := range t.idx {
+		t.idx[i] = i
+	}
+	if len(coords) > 0 {
+		t.build(0, len(coords))
+	}
+	return t
+}
+
+// build constructs the subtree over idx[start:end] and returns its node
+// index (appended to t.nodes).
+func (t *KDTree) build(start, end int) int {
+	lo := make([]float64, t.dim)
+	hi := make([]float64, t.dim)
+	for d := 0; d < t.dim; d++ {
+		lo[d] = math.Inf(1)
+		hi[d] = math.Inf(-1)
+	}
+	for _, i := range t.idx[start:end] {
+		c := t.coords[i]
+		for d := 0; d < t.dim; d++ {
+			if c[d] < lo[d] {
+				lo[d] = c[d]
+			}
+			if c[d] > hi[d] {
+				hi[d] = c[d]
+			}
+		}
+	}
+	self := len(t.nodes)
+	t.nodes = append(t.nodes, kdNode{left: -1, right: -1, start: start, end: end, bbLo: lo, bbHi: hi})
+	if end-start <= kdLeafSize || t.dim == 0 {
+		return self
+	}
+	// Split the widest extent (smallest axis index on ties — a
+	// deterministic choice, not a correctness one).
+	axis, width := 0, -1.0
+	for d := 0; d < t.dim; d++ {
+		if w := hi[d] - lo[d]; w > width {
+			axis, width = d, w
+		}
+	}
+	if width <= 0 {
+		// All points coincide (duplicates): splitting cannot make
+		// progress, so keep an oversized leaf. Queries still check each
+		// point exactly.
+		return self
+	}
+	sub := t.idx[start:end]
+	sort.Slice(sub, func(a, b int) bool {
+		ca, cb := t.coords[sub[a]][axis], t.coords[sub[b]][axis]
+		if ca != cb {
+			return ca < cb
+		}
+		return sub[a] < sub[b]
+	})
+	mid := start + (end-start)/2
+	left := t.build(start, mid)
+	right := t.build(mid, end)
+	t.nodes[self].left = left
+	t.nodes[self].right = right
+	return self
+}
+
+// boxDist returns a lower bound on the p-norm distance from q to any
+// point inside the box [lo, hi], computed in exactly PNormDist's
+// evaluation shape (same per-axis terms, same accumulation order, same
+// final root). For each axis the gap max(0, lo−q, q−hi) is, by the
+// monotonicity of float subtraction, at most the float value |x−q| of
+// any in-box coordinate x; squaring, summation, sqrt and max are all
+// float-monotone, so for p ∈ {1, 2, ∞} the bound holds bit-for-bit
+// against the distances the membership check computes. General p-norms
+// additionally rely on math.Pow monotonicity, which pruneMargin covers
+// at the call sites.
+func (t *KDTree) boxDist(q, lo, hi []float64) float64 {
+	switch {
+	case math.IsInf(t.p, 1):
+		maxg := 0.0
+		for d := range q {
+			if g := gap(q[d], lo[d], hi[d]); g > maxg {
+				maxg = g
+			}
+		}
+		return maxg
+	case t.p == 1:
+		s := 0.0
+		for d := range q {
+			s += gap(q[d], lo[d], hi[d])
+		}
+		return s
+	case t.p == 2:
+		s := 0.0
+		for d := range q {
+			g := gap(q[d], lo[d], hi[d])
+			s += g * g
+		}
+		return math.Sqrt(s)
+	default:
+		s := 0.0
+		for d := range q {
+			s += math.Pow(gap(q[d], lo[d], hi[d]), t.p)
+		}
+		return math.Pow(s, 1/t.p)
+	}
+}
+
+// gap returns the per-axis distance from coordinate q to the interval
+// [lo, hi]: 0 inside, else the distance to the nearer endpoint.
+func gap(q, lo, hi float64) float64 {
+	switch {
+	case q < lo:
+		return lo - q
+	case q > hi:
+		return q - hi
+	default:
+		return 0
+	}
+}
+
+// dist returns the exact p-norm distance from q to point i, in the same
+// shape metric.PNormDist uses (the loops are duplicated rather than
+// imported to keep geom free of the metric package; the property tests
+// pin the two bit-equal).
+func (t *KDTree) dist(q []float64, i int) float64 {
+	b := t.coords[i]
+	switch {
+	case math.IsInf(t.p, 1):
+		maxd := 0.0
+		for d := range q {
+			if v := math.Abs(q[d] - b[d]); v > maxd {
+				maxd = v
+			}
+		}
+		return maxd
+	case t.p == 1:
+		s := 0.0
+		for d := range q {
+			s += math.Abs(q[d] - b[d])
+		}
+		return s
+	case t.p == 2:
+		s := 0.0
+		for d := range q {
+			v := q[d] - b[d]
+			s += v * v
+		}
+		return math.Sqrt(s)
+	default:
+		s := 0.0
+		for d := range q {
+			s += math.Pow(math.Abs(q[d]-b[d]), t.p)
+		}
+		return math.Pow(s, 1/t.p)
+	}
+}
+
+// AppendWithin appends to buf the index of every point at p-norm
+// distance <= r from q, in ascending index order — exactly the set a
+// brute-force scan with the same distance function reports — and
+// returns the extended slice. Boxes are pruned only when their
+// margin-slackened lower bound exceeds r; every surviving point passes
+// an exact distance check, so pruning can only save work, never change
+// the result.
+func (t *KDTree) AppendWithin(q []float64, r float64, buf []int) []int {
+	if len(t.nodes) == 0 || r < 0 {
+		return buf
+	}
+	first := len(buf)
+	limit := r + r*pruneMargin
+	var walk func(ni int)
+	walk = func(ni int) {
+		nd := &t.nodes[ni]
+		if t.boxDist(q, nd.bbLo, nd.bbHi) > limit {
+			return
+		}
+		if nd.left < 0 {
+			for _, i := range t.idx[nd.start:nd.end] {
+				if t.dist(q, i) <= r {
+					buf = append(buf, i)
+				}
+			}
+			return
+		}
+		walk(nd.left)
+		walk(nd.right)
+	}
+	walk(0)
+	sort.Ints(buf[first:])
+	return buf
+}
+
+// KNearest returns the indices of the k points nearest to q, ordered by
+// (distance, index) ascending — the exact answer a brute-force sort
+// under the same comparator produces, duplicate points and distance
+// ties included. At most Size() indices are returned; k <= 0 yields
+// nil.
+func (t *KDTree) KNearest(q []float64, k int) []int {
+	if k <= 0 || len(t.nodes) == 0 {
+		return nil
+	}
+	if k > len(t.coords) {
+		k = len(t.coords)
+	}
+	type cand struct {
+		d float64
+		i int
+	}
+	// best holds the running k nearest, sorted by (d, i). k is small in
+	// every intended use; insertion keeps the code free of heap
+	// tie-break subtleties.
+	best := make([]cand, 0, k)
+	worse := func(a, b cand) bool { return a.d > b.d || (a.d == b.d && a.i > b.i) }
+	add := func(c cand) {
+		if len(best) == k {
+			if worse(c, best[k-1]) {
+				return
+			}
+			best = best[:k-1]
+		}
+		at := sort.Search(len(best), func(j int) bool { return worse(best[j], c) })
+		best = append(best, cand{})
+		copy(best[at+1:], best[at:])
+		best[at] = c
+	}
+	var walk func(ni int)
+	walk = func(ni int) {
+		nd := &t.nodes[ni]
+		if len(best) == k {
+			worst := best[k-1].d
+			if t.boxDist(q, nd.bbLo, nd.bbHi) > worst+worst*pruneMargin {
+				return
+			}
+		}
+		if nd.left < 0 {
+			for _, i := range t.idx[nd.start:nd.end] {
+				add(cand{t.dist(q, i), i})
+			}
+			return
+		}
+		// Nearer child first so the pruning radius tightens early; the
+		// order affects only work, never the result.
+		dl := t.boxDist(q, t.nodes[nd.left].bbLo, t.nodes[nd.left].bbHi)
+		dr := t.boxDist(q, t.nodes[nd.right].bbLo, t.nodes[nd.right].bbHi)
+		if dl <= dr {
+			walk(nd.left)
+			walk(nd.right)
+		} else {
+			walk(nd.right)
+			walk(nd.left)
+		}
+	}
+	walk(0)
+	out := make([]int, len(best))
+	for j, c := range best {
+		out[j] = c.i
+	}
+	return out
+}
+
+// Size returns the number of indexed points.
+func (t *KDTree) Size() int { return len(t.coords) }

@@ -1,0 +1,99 @@
+package geom
+
+import "gncg/internal/graph"
+
+// treeMargin is the relative slack the truncated traversal adds to its
+// radius before pruning. Path distances are accumulated edge-by-edge
+// from the query vertex, while the consumer's final membership check
+// (metric.TreeMetric's LCA labels) evaluates the same real sum in a
+// different association order; the two float results can differ by a
+// few ulps per path edge. The margin turns that divergence into pure
+// over-inclusion — a vertex inside the radius under either evaluation
+// is always visited — and the consumer's exact check trims the rest.
+const treeMargin = 1e-9
+
+// TreeIndex answers radius queries on the metric closure of an
+// edge-weighted tree by truncated traversal: starting from the query
+// vertex, it walks the tree and stops descending once the accumulated
+// path distance exceeds the (margin-slackened) radius. Edge weights are
+// non-negative, so path distance is monotone non-decreasing along every
+// root-to-leaf walk — in float arithmetic too, since adding a
+// non-negative term never decreases a sum — which is what makes the
+// truncation sound. Queries cost O(visited) and are read-only.
+type TreeIndex struct {
+	n    int
+	head []int32 // CSR offsets into to/w, length n+1
+	to   []int32
+	w    []float64
+}
+
+// NewTreeIndex builds the adjacency index of a tree given as an edge
+// list (the same representation metric.NewTreeMetric validates; the
+// index trusts its caller and does no re-validation).
+func NewTreeIndex(n int, edges []graph.Edge) *TreeIndex {
+	t := &TreeIndex{n: n, head: make([]int32, n+1)}
+	for _, e := range edges {
+		t.head[e.U+1]++
+		t.head[e.V+1]++
+	}
+	for v := 0; v < n; v++ {
+		t.head[v+1] += t.head[v]
+	}
+	t.to = make([]int32, 2*len(edges))
+	t.w = make([]float64, 2*len(edges))
+	next := make([]int32, n)
+	copy(next, t.head[:n])
+	for _, e := range edges {
+		t.to[next[e.U]], t.w[next[e.U]] = int32(e.V), e.W
+		next[e.U]++
+		t.to[next[e.V]], t.w[next[e.V]] = int32(e.U), e.W
+		next[e.V]++
+	}
+	return t
+}
+
+// ForEachWithin calls fn(v, pathDist) for every vertex v — the query
+// vertex u included, at distance 0 — whose accumulated path distance
+// from u is at most r·(1+treeMargin). The reported set is a superset of
+// every vertex within tree distance r under any float evaluation of the
+// path sum; callers needing the exact radius set re-check each vertex
+// against their own distance function. Traversal order is a
+// deterministic DFS; r < 0 reports nothing.
+func (t *TreeIndex) ForEachWithin(u int, r float64, fn func(v int, pathDist float64)) {
+	if r < 0 {
+		return
+	}
+	limit := r + r*treeMargin
+	type frame struct {
+		v    int32
+		from int32
+		d    float64
+	}
+	stack := make([]frame, 0, 64)
+	stack = append(stack, frame{int32(u), -1, 0})
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		fn(int(f.v), f.d)
+		for e := t.head[f.v]; e < t.head[f.v+1]; e++ {
+			v := t.to[e]
+			if v == f.from {
+				continue
+			}
+			if d := f.d + t.w[e]; d <= limit {
+				stack = append(stack, frame{v, f.v, d})
+			}
+		}
+	}
+}
+
+// Size returns the number of indexed vertices.
+func (t *TreeIndex) Size() int { return t.n }
+
+// ForEachNeighbor calls fn(v, w) for every tree edge (u, v) of weight w
+// incident to u, in CSR order.
+func (t *TreeIndex) ForEachNeighbor(u int, fn func(v int, w float64)) {
+	for i := t.head[u]; i < t.head[u+1]; i++ {
+		fn(int(t.to[i]), t.w[i])
+	}
+}

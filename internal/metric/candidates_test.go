@@ -1,0 +1,172 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gncg/internal/graph"
+)
+
+// bruteSpaceWithin is the CandidateSource contract's reference: every
+// index v with Dist(u,v) <= r, ascending.
+func bruteSpaceWithin(s Space, u int, r float64) []int {
+	var out []int
+	for v := 0; v < s.Size(); v++ {
+		if s.Dist(u, v) <= r {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sameInts(t *testing.T, got, want []int, format string, args ...any) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf(format+": got %v, want %v", append(args, got, want)...)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf(format+": got %v, want %v", append(args, got, want)...)
+		}
+	}
+}
+
+// TestPointsAppendWithinMatchesBruteForce pins the Points kd-tree
+// CandidateSource against a brute-force Dist scan, for each supported
+// norm, with duplicate points and radii landing exactly on distances.
+func TestPointsAppendWithinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, p := range []float64{1, 2, math.Inf(1)} {
+		for _, n := range []int{1, 9, 80} {
+			coords := make([][]float64, n)
+			for i := range coords {
+				if i > 2 && rng.Intn(5) == 0 {
+					coords[i] = append([]float64(nil), coords[rng.Intn(i)]...)
+					continue
+				}
+				coords[i] = []float64{rng.Float64() * 40, rng.Float64() * 40}
+			}
+			ps, err := NewPoints(coords, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 25; trial++ {
+				u := rng.Intn(n)
+				var r float64
+				switch trial % 3 {
+				case 0:
+					r = ps.Dist(u, rng.Intn(n))
+				case 1:
+					r = 0
+				case 2:
+					r = rng.Float64() * 30
+				}
+				got := ps.AppendWithin(u, r, nil)
+				sameInts(t, got, bruteSpaceWithin(ps, u, r), "p=%v n=%d u=%d r=%v", p, n, u, r)
+			}
+		}
+	}
+}
+
+// TestTreeAppendWithinMatchesBruteForce pins the TreeMetric truncated
+// traversal against a brute-force Dist scan, on trees with zero-weight
+// edges (whole subtrees tied at equal distance) and radii landing
+// exactly on LCA-label distances.
+func TestTreeAppendWithinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, n := range []int{1, 2, 12, 75, 160} {
+		edges := make([]graph.Edge, 0, n-1)
+		for v := 1; v < n; v++ {
+			w := rng.Float64() * 4
+			if rng.Intn(4) == 0 {
+				w = 0
+			}
+			edges = append(edges, graph.Edge{U: rng.Intn(v), V: v, W: w})
+		}
+		tm, err := NewTreeMetric(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 25; trial++ {
+			u := rng.Intn(n)
+			var r float64
+			switch trial % 3 {
+			case 0:
+				r = tm.Dist(u, rng.Intn(n)) // exactly on a label distance
+			case 1:
+				r = 0
+			case 2:
+				r = rng.Float64() * 12
+			}
+			got := tm.AppendWithin(u, r, nil)
+			sameInts(t, got, bruteSpaceWithin(tm, u, r), "n=%d u=%d r=%v", n, u, r)
+		}
+	}
+}
+
+// TestTreeLCADistMatchesNaive pins the binary-lifting LCA labels
+// against a naive parent-walk LCA evaluating the same closed form
+// dist[u] + dist[v] - 2*dist[lca] — bit-equality, not approximation.
+func TestTreeLCADistMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{2, 17, 90} {
+		edges := make([]graph.Edge, 0, n-1)
+		for v := 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: rng.Intn(v), V: v, W: rng.Float64() * 3})
+		}
+		tm, err := NewTreeMetric(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild parent/depth/root-distance naively from the edge list.
+		adj := make([][]graph.Edge, n)
+		for _, e := range edges {
+			adj[e.U] = append(adj[e.U], e)
+			adj[e.V] = append(adj[e.V], graph.Edge{U: e.V, V: e.U, W: e.W})
+		}
+		parent := make([]int, n)
+		depth := make([]int, n)
+		rootDist := make([]float64, n)
+		parent[0] = -1
+		seen := make([]bool, n)
+		seen[0] = true
+		stack := []int{0}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range adj[v] {
+				if !seen[e.V] {
+					seen[e.V] = true
+					parent[e.V] = v
+					depth[e.V] = depth[v] + 1
+					rootDist[e.V] = rootDist[v] + e.W
+					stack = append(stack, e.V)
+				}
+			}
+		}
+		naiveLCA := func(u, v int) int {
+			for depth[u] > depth[v] {
+				u = parent[u]
+			}
+			for depth[v] > depth[u] {
+				v = parent[v]
+			}
+			for u != v {
+				u, v = parent[u], parent[v]
+			}
+			return u
+		}
+		for trial := 0; trial < 60; trial++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			var want float64
+			if u != v {
+				l := naiveLCA(u, v)
+				want = rootDist[u] + rootDist[v] - 2*rootDist[l]
+			}
+			if got := tm.Dist(u, v); got != want {
+				t.Fatalf("n=%d Dist(%d,%d) = %v, naive %v", n, u, v, got, want)
+			}
+		}
+	}
+}

@@ -3,19 +3,28 @@ package metric
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 
+	"gncg/internal/geom"
 	"gncg/internal/graph"
 )
 
 // TreeMetric is the metric closure of an edge-weighted tree: the host
 // space of the T–GNCG. Distance queries run in O(log n) via binary-lifting
-// LCA after an O(n log n) preprocessing pass.
+// LCA after an O(n log n) preprocessing pass. A lazily-built adjacency
+// index answers neighborhood queries by truncated traversal
+// (CandidateSource capability); TreeMetric must not be copied by value
+// after first use.
 type TreeMetric struct {
 	n      int
 	edges  []graph.Edge
 	parent [][]int // parent[k][v] = 2^k-th ancestor of v (-1 above root)
 	depth  []int
 	dist   []float64 // weighted distance from root
+
+	idxOnce sync.Once
+	index   *geom.TreeIndex
 }
 
 // NewTreeMetric builds the metric defined by the given tree. The edge list
@@ -108,6 +117,45 @@ func (tm *TreeMetric) Dist(i, j int) float64 {
 	}
 	l := tm.lca(i, j)
 	return tm.dist[i] + tm.dist[j] - 2*tm.dist[l]
+}
+
+// AppendWithin appends the index of every vertex v with Dist(u,v) <= r —
+// u itself included — in ascending index order (CandidateSource
+// capability). The adjacency index, built on first use, walks the tree
+// outward from u and stops descending once the accumulated path distance
+// exceeds a margin-slackened r (path distances only grow along a tree
+// walk, so truncation is sound); each visited vertex is then re-checked
+// against the LCA-label Dist, making the result bit-equal to a
+// brute-force scan of Dist.
+func (tm *TreeMetric) AppendWithin(u int, r float64, buf []int) []int {
+	tm.idxOnce.Do(func() { tm.index = geom.NewTreeIndex(tm.n, tm.edges) })
+	first := len(buf)
+	tm.index.ForEachWithin(u, r, func(v int, _ float64) {
+		if tm.Dist(u, v) <= r {
+			buf = append(buf, v)
+		}
+	})
+	sort.Ints(buf[first:])
+	return buf
+}
+
+// NearestOtherDist returns the Dist to u's nearest other vertex (+Inf
+// for a one-vertex tree): in a non-negatively weighted tree every path
+// leaves u through an incident edge whose weight already bounds it
+// below, so the nearest vertex is a tree neighbor and an O(deg) scan of
+// the adjacency index answers the query. Each neighbor is measured with
+// the same LCA-label Dist the membership checks use; the handful of
+// ulps by which that evaluation can drift from the edge weight stays
+// within the caller's certified slack (CandidateSource capability).
+func (tm *TreeMetric) NearestOtherDist(u int) float64 {
+	tm.idxOnce.Do(func() { tm.index = geom.NewTreeIndex(tm.n, tm.edges) })
+	best := math.Inf(1)
+	tm.index.ForEachNeighbor(u, func(v int, _ float64) {
+		if d := tm.Dist(u, v); d < best {
+			best = d
+		}
+	})
+	return best
 }
 
 func (tm *TreeMetric) lca(u, v int) int {
